@@ -1,0 +1,16 @@
+"""Ablation: asynchronous (command-queue) vs synchronous config updates."""
+
+from repro.harness.experiments import run_ablation_async_config
+
+
+def bench_target():
+    return run_ablation_async_config(attaches=16)
+
+
+def test_ablation_async_config(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    async_row, sync_row = result.rows
+    # The synchronous controller interrupts guests more.
+    assert sync_row[3] > async_row[3]
+    benchmark(bench_target)

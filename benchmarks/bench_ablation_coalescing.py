@@ -1,0 +1,15 @@
+"""Ablation: EPT 2M/1G coalescing vs 4K-only tables."""
+
+from repro.harness.experiments import run_ablation_coalescing
+
+
+def bench_target():
+    return run_ablation_coalescing()
+
+
+def test_ablation_coalescing(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    coalesced, flat = result.rows
+    assert coalesced[3] < flat[3]  # far fewer 4K entries
+    benchmark(bench_target)

@@ -1,0 +1,14 @@
+"""Ablation: trap-mode vs posted-interrupt IPI protection."""
+
+from repro.harness.experiments import run_ablation_ipi_mode
+
+
+def bench_target():
+    return run_ablation_ipi_mode()
+
+
+def test_ablation_ipi_mode(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert {"posted", "trap"} <= set(result.column("mode"))
+    benchmark(bench_target)

@@ -1,0 +1,16 @@
+"""Fig. 3: Selfish-Detour noise profile across Covirt configurations."""
+
+from repro.harness.experiments import run_fig3_selfish
+
+
+def bench_target():
+    return run_fig3_selfish(duration_seconds=10.0)
+
+
+def test_fig3_selfish(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    # The paper's observation: configurations show little variation.
+    counts = result.column("detours")
+    assert len(set(counts)) == 1
+    benchmark(bench_target)

@@ -1,0 +1,15 @@
+"""Fig. 4: XEMEM attach delay vs region size, Covirt on/off."""
+
+from repro.harness.experiments import run_fig4_xemem
+
+
+def bench_target():
+    return run_fig4_xemem(sizes_mb=[1, 4, 16, 64, 256, 1024])
+
+
+def test_fig4_xemem_attach(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    latencies = result.column("no covirt (us)")
+    assert latencies == sorted(latencies)
+    benchmark(bench_target)

@@ -1,0 +1,14 @@
+"""Fig. 5b: RandomAccess across Covirt configurations."""
+
+from repro.harness.experiments import run_fig5_randomaccess
+
+
+def bench_target():
+    return run_fig5_randomaccess()
+
+
+def test_fig5_randomaccess(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 4
+    benchmark(bench_target)

@@ -1,0 +1,14 @@
+"""Fig. 5a: STREAM across Covirt configurations."""
+
+from repro.harness.experiments import run_fig5_stream
+
+
+def bench_target():
+    return run_fig5_stream()
+
+
+def test_fig5_stream(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 4
+    benchmark(bench_target)

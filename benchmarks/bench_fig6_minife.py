@@ -1,0 +1,14 @@
+"""Fig. 6: MiniFE scaling over CPU-core/NUMA-zone layouts."""
+
+from repro.harness.experiments import run_fig6_minife
+
+
+def bench_target():
+    return run_fig6_minife()
+
+
+def test_fig6_minife(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 16  # 4 layouts × 4 configs
+    benchmark(bench_target)

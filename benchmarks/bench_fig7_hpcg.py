@@ -1,0 +1,14 @@
+"""Fig. 7: HPCG scaling over CPU-core/NUMA-zone layouts."""
+
+from repro.harness.experiments import run_fig7_hpcg
+
+
+def bench_target():
+    return run_fig7_hpcg()
+
+
+def test_fig7_hpcg(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 16
+    benchmark(bench_target)

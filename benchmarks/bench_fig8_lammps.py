@@ -1,0 +1,14 @@
+"""Fig. 8: LAMMPS loop times (lj, eam, chain, chute) at 8c/2n."""
+
+from repro.harness.experiments import run_fig8_lammps
+
+
+def bench_target():
+    return run_fig8_lammps()
+
+
+def test_fig8_lammps(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 16  # 4 problems × 4 configs
+    benchmark(bench_target)

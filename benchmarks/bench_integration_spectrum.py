@@ -1,0 +1,17 @@
+"""Integration spectrum: delegation cost across co-kernel architectures."""
+
+from repro.harness.experiments import run_integration_spectrum
+
+
+def bench_target():
+    return run_integration_spectrum()
+
+
+def test_integration_spectrum(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    native = [r for r in result.rows if r[0] == "native"]
+    latencies = [r[2] for r in native]
+    # Hobbes channel > IHK proxy > mOS trampoline.
+    assert latencies[0] > latencies[1] > latencies[2]
+    benchmark(bench_target)

@@ -1,0 +1,14 @@
+"""Performance isolation under co-running enclaves."""
+
+from repro.harness.experiments import run_isolation_corun
+
+
+def bench_target():
+    return run_isolation_corun()
+
+
+def test_isolation_corun(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 6
+    benchmark(bench_target)

@@ -1,0 +1,14 @@
+"""Motivation: Covirt vs a conventional full-virtualization VMM."""
+
+from repro.harness.experiments import run_motivation_fullvirt
+
+
+def bench_target():
+    return run_motivation_fullvirt()
+
+
+def test_motivation_fullvirt(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 5
+    benchmark(bench_target)

@@ -1,0 +1,14 @@
+"""Sensitivity of the headline result to the cost-model calibration."""
+
+from repro.harness.experiments import run_sensitivity
+
+
+def bench_target():
+    return run_sensitivity()
+
+
+def test_sensitivity(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert all(row[-1] == "yes" for row in result.rows)
+    benchmark(bench_target)

@@ -1,0 +1,14 @@
+"""Table I: benchmark registry."""
+
+from repro.harness.experiments import run_table1
+
+
+def bench_target():
+    return run_table1()
+
+
+def test_table1(benchmark, show):
+    result = bench_target()
+    show(result.render())
+    assert len(result.rows) == 6
+    benchmark(bench_target)

@@ -1,0 +1,15 @@
+"""Comparison baselines.
+
+The paper motivates Covirt against *traditional virtualization*: running
+each co-kernel in a conventional VM would give the same fault isolation
+but "has so far been rejected due to the perceived overhead cost"
+(Section I), because conventional VMMs abstract the hardware, mediate
+IPC through virtual devices, and assume static resource assignment
+(Section III-B / Fig. 1b).  This package implements that conventional
+VMM as an explicit baseline so the trade-off is measurable rather than
+asserted.
+"""
+
+from repro.baselines.fullvirt import TraditionalVmm
+
+__all__ = ["TraditionalVmm"]

@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Gives every table, figure, and ablation a shell-invokable entry point,
+plus a fault-demo command that prints a Covirt crash dossier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.harness import experiments as ex
+
+#: experiment name → driver
+EXPERIMENTS: dict[str, Callable[[], "ex.ExperimentResult"]] = {
+    "table1": ex.run_table1,
+    "fig3": ex.run_fig3_selfish,
+    "fig4": ex.run_fig4_xemem,
+    "fig5a": ex.run_fig5_stream,
+    "fig5b": ex.run_fig5_randomaccess,
+    "fig6": ex.run_fig6_minife,
+    "fig7": ex.run_fig7_hpcg,
+    "fig8": ex.run_fig8_lammps,
+    "ablation-coalescing": ex.run_ablation_coalescing,
+    "ablation-ipi-mode": ex.run_ablation_ipi_mode,
+    "ablation-async": ex.run_ablation_async_config,
+    "motivation": ex.run_motivation_fullvirt,
+    "isolation": ex.run_isolation_corun,
+    "integration-spectrum": ex.run_integration_spectrum,
+    "sensitivity": ex.run_sensitivity,
+}
+
+
+def run_experiments(names: list[str], json_dir: str | None = None) -> int:
+    for name in names:
+        driver = EXPERIMENTS.get(name)
+        if driver is None:
+            print(f"unknown experiment {name!r}; "
+                  f"choose from: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+            return 2
+        result = driver()
+        print(result.render())
+        if json_dir is not None:
+            path = result.save(json_dir, name)
+            print(f"[wrote {path}]")
+        print()
+    return 0
+
+
+def run_fault_demo() -> int:
+    """Crash a protected enclave and print its dossier."""
+    from repro.core.faults import EnclaveFaultError
+    from repro.core.features import CovirtConfig
+    from repro.harness.env import CovirtEnvironment, Layout
+
+    GiB = 1 << 30
+    env = CovirtEnvironment()
+    enclave = env.launch(
+        Layout("2c/2n", {0: 1, 1: 1}, {0: GiB, 1: GiB}),
+        CovirtConfig.full(),
+        name="demo",
+    )
+    enclave.kernel.console.append("worker: entering exchange phase")
+    bsp = enclave.assignment.core_ids[0]
+    enclave.port.send_ipi(bsp, 0, 99)  # errant, dropped
+    try:
+        enclave.port.read(bsp, 50 * GiB, 8)
+    except EnclaveFaultError:
+        pass
+    print(env.controller.dossiers[enclave.enclave_id].render())
+    print(f"\nhost survived: {env.host.alive}; "
+          f"resources reclaimed: {env.host.owner_summary()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Covirt reproduction: regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one of: {', '.join(sorted(EXPERIMENTS))}, or 'all'",
+    )
+    run.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write machine-readable results to DIR/<experiment>.json",
+    )
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("fault-demo", help="crash an enclave, print its dossier")
+    sub.add_parser(
+        "verify", help="check every paper shape claim against its band"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "verify":
+        from repro.harness.verify import run_verification
+
+        report, ok = run_verification()
+        print(report)
+        print("\nALL CLAIMS REPRODUCED" if ok else "\nSOME CLAIMS OUT OF BAND")
+        return 0 if ok else 1
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name:22s} {EXPERIMENTS[name].__doc__.splitlines()[0]}")
+        return 0
+    if args.command == "fault-demo":
+        return run_fault_demo()
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    return run_experiments(names, json_dir=args.json)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

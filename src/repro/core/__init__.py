@@ -1,0 +1,47 @@
+"""Covirt: the lightweight fault-isolation and resource-protection layer.
+
+This package is the paper's contribution.  It consists of:
+
+* a per-core, minimal **hypervisor** (:mod:`repro.core.hypervisor`) that
+  loads a pre-built VMCS, launches the co-kernel as a guest at its
+  native entry point, and handles the small set of exits that policy
+  requires;
+* a **controller module** (:mod:`repro.core.controller`) embedded in the
+  Hobbes/Pisces management framework that watches resource-assignment
+  events and rewrites the virtualization configuration asynchronously,
+  poking the hypervisor through an NMI-signalled command queue only
+  when CPU-local state (TLBs, the loaded VMCS) must be synchronised;
+* modular **protection features** (:mod:`repro.core.features`) —
+  memory (EPT), IPI (VAPIC trap / posted interrupts), MSR, I/O port,
+  and abort-exception containment — selectable per enclave at launch.
+"""
+
+from repro.core.features import Feature, IpiMode, CovirtConfig
+from repro.core.commands import Command, CommandType, CommandQueue
+from repro.core.ipi import IpiWhitelist
+from repro.core.faults import CovirtFault, FaultKind
+from repro.core.bootparams import CovirtBootParams
+from repro.core.ept_manager import EptManager
+from repro.core.execution import VirtualizedAccessPort
+from repro.core.hypervisor import CovirtHypervisor
+from repro.core.controller import CovirtController, EnclaveVirtContext
+from repro.core.boot import CovirtBootProtocol
+
+__all__ = [
+    "Feature",
+    "IpiMode",
+    "CovirtConfig",
+    "Command",
+    "CommandType",
+    "CommandQueue",
+    "IpiWhitelist",
+    "CovirtFault",
+    "FaultKind",
+    "CovirtBootParams",
+    "EptManager",
+    "VirtualizedAccessPort",
+    "CovirtHypervisor",
+    "CovirtController",
+    "EnclaveVirtContext",
+    "CovirtBootProtocol",
+]

@@ -1,0 +1,77 @@
+"""Covirt's boot interposition.
+
+Pisces' trampoline is repurposed: instead of jumping into the co-kernel,
+an enclave CPU boots into the Covirt hypervisor, which performs the VMX
+hardware setup and launches the co-kernel as a guest *at the same entry
+point with the same register state* the native trampoline would have
+produced.  The co-kernel cannot tell the difference (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.bootparams import CovirtBootParams
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import CovirtController
+    from repro.pisces.enclave import Enclave
+    from repro.pisces.trampoline import BootProtocol
+
+
+class CovirtBootProtocol:
+    """Boot protocol that interposes the hypervisor when the enclave has
+    a Covirt context, and falls back to the native path otherwise."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        controller: "CovirtController",
+        native_fallback: "BootProtocol",
+    ) -> None:
+        self.machine = machine
+        self.controller = controller
+        self.native = native_fallback
+
+    def boot_core(self, enclave: "Enclave", core_id: int, is_bsp: bool) -> None:
+        from repro.core.controller import PRIVATE_PAGES_PER_CORE
+        from repro.pisces.trampoline import kernel_class_for
+
+        ctx = self.controller.context_for(enclave.enclave_id)
+        if ctx is None:
+            self.native.boot_core(enclave, core_id, is_bsp)
+            return
+        core = self.machine.core(core_id)
+        core.advance(5_000)  # trampoline (same as native)
+        # Write the per-core Covirt boot-parameter structure into the
+        # hypervisor-private page, wrapping the unmodified Pisces params.
+        idx = enclave.assignment.core_ids.index(core_id)
+        base = ctx.private_region.start + idx * PRIVATE_PAGES_PER_CORE * PAGE_SIZE
+        assert enclave.boot_params is not None
+        params = CovirtBootParams(
+            core_id=core_id,
+            pisces_params_addr=enclave.boot_params.address,
+            command_queue_addr=base,
+            stack_addr=base + 2 * PAGE_SIZE,
+            feature_bits=ctx.config.features.value,
+        )
+        params.write_to(self.machine.memory, base + PAGE_SIZE)
+        # The hypervisor owns this core's physical interrupt delivery
+        # from here on.
+        hv = ctx.hypervisors[core_id]
+        apic = core.apic
+        assert apic is not None
+        apic.delivery_hook = hv.on_physical_interrupt
+        # VMPTRLD + VMLAUNCH straight into the co-kernel entry point.
+        hv.launch()
+        if is_bsp:
+            enclave.kernel = kernel_class_for(enclave).boot(self.machine, enclave)
+        else:
+            assert enclave.kernel is not None, "BSP must boot first"
+            enclave.kernel.join_secondary_core(core_id)
+        core.context = enclave.kernel
+
+    def describe(self) -> str:
+        return "covirt (hypervisor interposed)"

@@ -1,0 +1,65 @@
+"""Covirt's boot-parameter structure.
+
+Covirt replaces the Pisces boot-parameter structure handed to the
+trampoline with its own, containing the VM configuration, the command
+queue, and a pointer to the *unmodified* Pisces structure; at VM launch
+the original Pisces address is handed to the co-kernel in a register
+(Section IV-C).  Packing it into guest-inaccessible physical memory
+keeps that arrangement honest.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.hw.memory import PhysicalMemory
+
+COVIRT_PARAMS_MAGIC = 0xC0B1_2021
+
+_LAYOUT = struct.Struct("<IIQQQI")
+# magic, core_id, pisces_params_addr, command_queue_addr, stack_addr, features
+
+
+@dataclass
+class CovirtBootParams:
+    """Per-core hypervisor boot parameters."""
+
+    core_id: int
+    #: Address of the unmodified Pisces boot params (passed to the guest).
+    pisces_params_addr: int
+    #: Address of this core's command queue ring.
+    command_queue_addr: int
+    #: Base of the preallocated 8 KiB hypervisor stack.
+    stack_addr: int
+    #: Encoded feature flags (for the hypervisor's own introspection).
+    feature_bits: int = 0
+    address: int = 0
+
+    def pack(self) -> bytes:
+        return _LAYOUT.pack(
+            COVIRT_PARAMS_MAGIC,
+            self.core_id,
+            self.pisces_params_addr,
+            self.command_queue_addr,
+            self.stack_addr,
+            self.feature_bits,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, address: int = 0) -> "CovirtBootParams":
+        magic, core_id, pisces_addr, queue_addr, stack_addr, features = (
+            _LAYOUT.unpack_from(data, 0)
+        )
+        if magic != COVIRT_PARAMS_MAGIC:
+            raise ValueError(f"bad Covirt boot params magic {magic:#x}")
+        return cls(core_id, pisces_addr, queue_addr, stack_addr, features, address)
+
+    def write_to(self, memory: PhysicalMemory, address: int) -> int:
+        memory.write(address, self.pack())
+        self.address = address
+        return _LAYOUT.size
+
+    @classmethod
+    def read_from(cls, memory: PhysicalMemory, address: int) -> "CovirtBootParams":
+        return cls.unpack(memory.read(address, _LAYOUT.size), address)

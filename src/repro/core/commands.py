@@ -1,0 +1,153 @@
+"""The controller → hypervisor command queue.
+
+Commands are fixed-size messages in a shared-memory ring, one ring per
+enclave CPU, signalled with an NMI IPI (Section IV-C: NMIs avoid vector
+conflicts and keep the guest's IRQ vector space directly mapped).  They
+carry *update notifications*, not configuration payloads: the controller
+has already rewritten the hardware structures by the time it enqueues,
+and the hypervisor only activates the change / invalidates stale state.
+
+The ring lives in real simulated memory: the structure is packed and
+unpacked through :class:`repro.hw.memory.PhysicalMemory`, so tests can
+verify the guest can never see it (it is outside the EPT).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+
+
+class CommandType(enum.IntEnum):
+    """What the hypervisor must synchronise."""
+
+    #: No-op (liveness check).
+    PING = 0
+    #: Memory configuration changed: flush the local TLB.
+    MEMORY_UPDATE = 1
+    #: Control state changed: reload the VMCS before next entry.
+    VMCS_RELOAD = 2
+    #: Terminate the enclave on this core.
+    TERMINATE = 3
+
+
+#: magic, type, seq, arg0, arg1, completed
+_SLOT = struct.Struct("<IIQQQI")
+SLOT_SIZE = 64  # padded to a cache line
+_HEADER = struct.Struct("<III")  # head, tail, capacity
+HEADER_SIZE = 64
+
+COMMAND_MAGIC = 0xC0D1
+
+
+@dataclass(frozen=True)
+class Command:
+    """One fixed-size command."""
+
+    type: CommandType
+    seq: int
+    arg0: int = 0
+    arg1: int = 0
+
+    def pack(self, completed: bool = False) -> bytes:
+        raw = _SLOT.pack(
+            COMMAND_MAGIC, self.type, self.seq, self.arg0, self.arg1, int(completed)
+        )
+        return raw.ljust(SLOT_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> tuple["Command", bool]:
+        magic, ctype, seq, arg0, arg1, completed = _SLOT.unpack_from(data, 0)
+        if magic != COMMAND_MAGIC:
+            raise ValueError(f"corrupt command slot (magic {magic:#x})")
+        return cls(CommandType(ctype), seq, arg0, arg1), bool(completed)
+
+
+class QueueFull(Exception):
+    pass
+
+
+class CommandQueue:
+    """A single-producer single-consumer ring in physical memory."""
+
+    def __init__(
+        self, memory: PhysicalMemory, base_addr: int, capacity: int = 62
+    ) -> None:
+        if capacity <= 0 or HEADER_SIZE + capacity * SLOT_SIZE > PAGE_SIZE:
+            raise ValueError("queue must fit in one page")
+        self.memory = memory
+        self.base = base_addr
+        self.capacity = capacity
+        self._seq = 0
+        self._write_header(0, 0)
+
+    # -- header ----------------------------------------------------------
+
+    def _write_header(self, head: int, tail: int) -> None:
+        self.memory.write(
+            self.base, _HEADER.pack(head, tail, self.capacity)
+        )
+
+    def _read_header(self) -> tuple[int, int]:
+        head, tail, cap = _HEADER.unpack(
+            self.memory.read(self.base, _HEADER.size)
+        )
+        if cap != self.capacity:
+            raise ValueError("corrupt queue header")
+        return head, tail
+
+    def _slot_addr(self, index: int) -> int:
+        return self.base + HEADER_SIZE + (index % self.capacity) * SLOT_SIZE
+
+    # -- producer (controller) -------------------------------------------
+
+    def enqueue(self, ctype: CommandType, arg0: int = 0, arg1: int = 0) -> Command:
+        head, tail = self._read_header()
+        if tail - head >= self.capacity:
+            raise QueueFull(f"command queue at {self.base:#x} is full")
+        self._seq += 1
+        cmd = Command(ctype, self._seq, arg0, arg1)
+        self.memory.write(self._slot_addr(tail), cmd.pack())
+        self._write_header(head, tail + 1)
+        return cmd
+
+    def is_completed(self, cmd: Command) -> bool:
+        """Scan the ring for the command's completion flag.
+
+        (The controller blocks on this for synchronous commands.)
+        """
+        head, tail = self._read_header()
+        for idx in range(max(0, tail - self.capacity), tail):
+            slot, completed = Command.unpack(
+                self.memory.read(self._slot_addr(idx), SLOT_SIZE)
+            )
+            if slot.seq == cmd.seq:
+                return completed
+        # Slot already overwritten — it must have completed to be reused.
+        return True
+
+    # -- consumer (hypervisor) -------------------------------------------
+
+    def pending(self) -> int:
+        head, tail = self._read_header()
+        return tail - head
+
+    def dequeue(self) -> Command | None:
+        head, tail = self._read_header()
+        if head == tail:
+            return None
+        cmd, _ = Command.unpack(self.memory.read(self._slot_addr(head), SLOT_SIZE))
+        self._write_header(head + 1, tail)
+        return cmd
+
+    def mark_completed(self, cmd: Command) -> None:
+        head, tail = self._read_header()
+        for idx in range(max(0, tail - self.capacity), tail):
+            addr = self._slot_addr(idx)
+            slot, _ = Command.unpack(self.memory.read(addr, SLOT_SIZE))
+            if slot.seq == cmd.seq:
+                self.memory.write(addr, cmd.pack(completed=True))
+                return

@@ -1,0 +1,419 @@
+"""The Covirt controller module.
+
+The controller is the host-side half of Covirt's split architecture
+(Section IV-B).  It embeds into the Hobbes master control process and
+the Pisces kernel module, hooks every control path that changes the
+system-wide hardware configuration, and translates those events into
+virtualization-configuration updates:
+
+* **memory grant** (Pisces hot-add, XEMEM attach) — the controller maps
+  the region into the enclave's EPT *before* the page-frame list is
+  transmitted, then returns immediately: new mappings cannot be stale
+  in any TLB, so no hypervisor coordination is needed;
+* **memory revoke** (Pisces hot-remove, XEMEM detach) — after the
+  co-kernel acknowledges, the controller unmaps the EPT and issues a
+  ``MEMORY_UPDATE`` command to every enclave core (NMI doorbell), and
+  only returns once each core has flushed — so memory is unreachable
+  before it is reclaimed;
+* **vector grant/revoke** — the controller rewrites the enclave's IPI
+  whitelist directly; since the hypervisor consults the whitelist on
+  every trapped ICR write, no cache synchronisation is required.
+
+Updates are asynchronous with respect to the enclave: guest cores keep
+running while the controller rewrites EPTs and whitelists, and are only
+interrupted when CPU-local state must be invalidated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.debug import FaultDossier
+
+from repro.core.boot import CovirtBootProtocol
+from repro.core.commands import CommandQueue, CommandType
+from repro.core.ept_manager import EptManager
+from repro.core.execution import VirtualizedAccessPort
+from repro.core.faults import CovirtFault
+from repro.core.features import CovirtConfig, Feature, IpiMode
+from repro.core.hypervisor import CovirtHypervisor
+from repro.core.ipi import IpiWhitelist
+from repro.hobbes.master import MasterControlProcess
+from repro.hobbes.registry import VectorGrant
+from repro.hw.apic import DeliveryMode
+from repro.hw.machine import Machine
+from repro.hw.memory import MemoryRegion, PAGE_SIZE
+from repro.linuxhost.host import OFFLINE_OWNER
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.perf.counters import PerfCounters
+from repro.pisces.enclave import Enclave
+from repro.pisces.kmod import COVIRT_IOCTL_BASE
+from repro.pisces.trampoline import boot_params_address_for, entry_point_for
+from repro.vmx.io_bitmap import IoBitmap
+from repro.vmx.msr_bitmap import MsrBitmap
+from repro.vmx.posted import PostedInterruptDescriptor
+from repro.vmx.vapic import VapicMode, VirtualApicPage
+from repro.vmx.vmcs import ExecutionControls, GuestState, Vmcs
+
+#: The fixed vector PIV notification IPIs use (outside the dynamic range).
+PIV_NOTIFICATION_VECTOR = 242
+
+#: Hypervisor-private pages per enclave core: command queue, Covirt boot
+#: params, and the preallocated 8 KiB (2-page) stack.
+PRIVATE_PAGES_PER_CORE = 4
+
+
+class CovirtIoctl:
+    """ioctl command range Covirt registers on the Pisces ABI."""
+
+    STATUS = COVIRT_IOCTL_BASE + 0
+    COUNTERS = COVIRT_IOCTL_BASE + 1
+    PING = COVIRT_IOCTL_BASE + 2
+    DOSSIER = COVIRT_IOCTL_BASE + 3
+
+
+def covirt_owner(enclave_id: int) -> str:
+    return f"covirt:{enclave_id}"
+
+
+@dataclass
+class EnclaveVirtContext:
+    """Everything Covirt holds for one protected enclave."""
+
+    enclave: Enclave
+    config: CovirtConfig
+    costs: CostModel
+    private_region: MemoryRegion
+    ept: EptManager | None = None
+    whitelist: IpiWhitelist | None = None
+    msr_bitmap: MsrBitmap | None = None
+    io_bitmap: IoBitmap | None = None
+    vmcs: dict[int, Vmcs] = field(default_factory=dict)
+    queues: dict[int, CommandQueue] = field(default_factory=dict)
+    hypervisors: dict[int, CovirtHypervisor] = field(default_factory=dict)
+    denied_msr_writes: list[tuple[int, int, int]] = field(default_factory=list)
+    denied_io: list[tuple[int, int, int, bool]] = field(default_factory=list)
+
+    def aggregate_counters(self) -> PerfCounters:
+        total = PerfCounters()
+        for hv in self.hypervisors.values():
+            total = total.merge(hv.counters)
+        return total
+
+
+class CovirtController:
+    """The controller module, hooked into MCP + Pisces."""
+
+    def __init__(
+        self,
+        mcp: MasterControlProcess,
+        costs: CostModel = DEFAULT_COSTS,
+        synchronous_updates: bool = False,
+    ) -> None:
+        self.mcp = mcp
+        self.machine: Machine = mcp.machine
+        self.costs = costs
+        #: Ablation knob: when True, *every* configuration change pauses
+        #: the enclave's cores for a VMCS reload (the traditional
+        #: hypervisor approach the paper's asynchronous design avoids).
+        self.synchronous_updates = synchronous_updates
+        self.contexts: dict[int, EnclaveVirtContext] = {}
+        self.fault_log: list[CovirtFault] = []
+        #: Crash reports by enclave id (see :mod:`repro.core.debug`).
+        self.dossiers: dict[int, "FaultDossier"] = {}
+        #: Every co-kernel framework this controller protects.
+        self._frameworks: list = []
+        self._pending_config: CovirtConfig | None = None
+        # Interpose on the Pisces framework (boot path + control paths
+        # + ioctl ABI).
+        self.interpose_on(mcp.kmod)
+        # Hobbes-level control paths (XEMEM, vector namespace).
+        mcp.xemem.hooks.pre_attach.append(self._on_memory_grant)
+        mcp.xemem.hooks.post_detach.append(self._on_memory_revoke)
+        mcp.vectors.on_grant.append(self._on_vector_grant)
+        mcp.vectors.on_revoke.append(self._on_vector_revoke)
+        mcp.covirt_controller = self
+
+    def interpose_on(self, framework) -> None:
+        """Interpose Covirt on a co-kernel framework.
+
+        Any framework exposing the integration surface — a
+        ``boot_protocol`` seam, a :class:`ControlHooks` instance, and a
+        ``register_ioctl`` ABI — can be protected; the paper argues the
+        approach generalises across co-kernel architectures
+        (Section III-A), and this is that claim made concrete: Pisces
+        and the IHK/McKernel-style framework both plug in here.
+        """
+        self._frameworks.append(framework)
+        framework.boot_protocol = CovirtBootProtocol(
+            self.machine, self, framework.boot_protocol
+        )
+        framework.hooks.pre_boot.append(self._on_pre_boot)
+        framework.hooks.pre_memory_add.append(self._on_memory_grant)
+        framework.hooks.post_memory_remove.append(self._on_memory_revoke)
+        framework.hooks.on_teardown.append(self._on_teardown)
+        register = getattr(framework, "register_ioctl", None)
+        if register is not None:
+            register(CovirtIoctl.STATUS, self._ioctl_status)
+            register(CovirtIoctl.COUNTERS, self._ioctl_counters)
+            register(CovirtIoctl.PING, self._ioctl_ping)
+            register(CovirtIoctl.DOSSIER, self._ioctl_dossier)
+
+    # -- public API ------------------------------------------------------
+
+    def launch(self, spec, config: CovirtConfig | None) -> Enclave:
+        """Launch a Pisces/Hobbes enclave, protected iff ``config``."""
+        return self.launch_via(
+            lambda: self.mcp.launch_enclave(spec), config
+        )
+
+    def launch_via(self, boot_callable, config: CovirtConfig | None):
+        """Run any framework's create+boot path with a pending Covirt
+        configuration armed (None = native)."""
+        self._pending_config = config
+        try:
+            return boot_callable()
+        finally:
+            self._pending_config = None
+
+    def context_for(self, enclave_id: int) -> EnclaveVirtContext | None:
+        return self.contexts.get(enclave_id)
+
+    # -- boot-time context construction ---------------------------------
+
+    def _on_pre_boot(self, enclave: Enclave) -> None:
+        config = self._pending_config
+        if config is None:
+            return  # native launch: Covirt stays out of the way
+        ctx = self._build_context(enclave, config)
+        self.contexts[enclave.enclave_id] = ctx
+        enclave.virt_context = ctx
+        enclave.port = VirtualizedAccessPort(self.machine, ctx)
+
+    def _build_context(
+        self, enclave: Enclave, config: CovirtConfig
+    ) -> EnclaveVirtContext:
+        ncores = len(enclave.assignment.core_ids)
+        private = self.mcp.host.offline_memory(
+            ncores * PRIVATE_PAGES_PER_CORE * PAGE_SIZE, zone_id=0
+        )
+        self.machine.memory.transfer(
+            private, OFFLINE_OWNER, covirt_owner(enclave.enclave_id)
+        )
+        ctx = EnclaveVirtContext(
+            enclave=enclave,
+            config=config,
+            costs=self.costs,
+            private_region=private,
+        )
+        if config.has(Feature.MEMORY):
+            ctx.ept = EptManager(coalesce=config.ept_coalescing)
+            ctx.ept.build_identity(enclave.assignment.regions)
+        if config.has(Feature.IPI):
+            ctx.whitelist = IpiWhitelist()
+        if config.has(Feature.MSR):
+            ctx.msr_bitmap = MsrBitmap(trap_by_default=True)
+        if config.has(Feature.IOPORT):
+            ctx.io_bitmap = IoBitmap(trap_by_default=True)
+        vapic_mode = VapicMode.DISABLED
+        if config.has(Feature.IPI):
+            vapic_mode = (
+                VapicMode.POSTED
+                if config.effective_ipi_mode is IpiMode.POSTED
+                else VapicMode.TRAP
+            )
+        assert enclave.boot_params is not None
+        for idx, core_id in enumerate(enclave.assignment.core_ids):
+            base = private.start + idx * PRIVATE_PAGES_PER_CORE * PAGE_SIZE
+            queue = CommandQueue(self.machine.memory, base)
+            vmcs = Vmcs(
+                core_id=core_id,
+                guest=GuestState(
+                    entry_point=entry_point_for(enclave),
+                    boot_params_gpa=boot_params_address_for(enclave),
+                ),
+                controls=ExecutionControls(
+                    external_interrupt_exiting=vapic_mode is not VapicMode.DISABLED,
+                    nmi_exiting=True,
+                    use_msr_bitmap=config.has(Feature.MSR),
+                    use_io_bitmap=config.has(Feature.IOPORT),
+                    enable_ept=config.has(Feature.MEMORY),
+                    vapic_mode=vapic_mode,
+                ),
+                ept=ctx.ept.table if ctx.ept is not None else None,
+                msr_bitmap=ctx.msr_bitmap,
+                io_bitmap=ctx.io_bitmap,
+            )
+            if vapic_mode is not VapicMode.DISABLED:
+                vmcs.vapic_page = VirtualApicPage(core_id)
+            if vapic_mode is VapicMode.POSTED:
+                vmcs.pi_descriptor = PostedInterruptDescriptor(
+                    PIV_NOTIFICATION_VECTOR
+                )
+            hv = CovirtHypervisor(
+                machine=self.machine,
+                core=self.machine.core(core_id),
+                ctx=ctx,
+                vmcs=vmcs,
+                queue=queue,
+                stack_addr=base + 2 * PAGE_SIZE,
+                costs=self.costs,
+            )
+            hv.fault_sink = self._on_fault
+            ctx.vmcs[core_id] = vmcs
+            ctx.queues[core_id] = queue
+            ctx.hypervisors[core_id] = hv
+        return ctx
+
+    # -- dynamic memory configuration -------------------------------------
+
+    def _on_memory_grant(self, enclave: Enclave, region: MemoryRegion) -> None:
+        """Expansion: map first, return immediately (no coordination)."""
+        ctx = self.contexts.get(enclave.enclave_id)
+        if ctx is None or ctx.ept is None:
+            return
+        ctx.ept.map_region(region)
+        for vmcs in ctx.vmcs.values():
+            vmcs.touch()
+        if self.synchronous_updates:
+            # Ablation: the conventional approach interrupts every core
+            # to activate even grow-only changes.
+            self.issue_command(ctx, CommandType.VMCS_RELOAD)
+
+    def _on_memory_revoke(self, enclave: Enclave, region: MemoryRegion) -> None:
+        """Shrink: unmap, then force every enclave core to flush before
+        the operation is allowed to complete."""
+        ctx = self.contexts.get(enclave.enclave_id)
+        if ctx is None or ctx.ept is None:
+            return
+        ctx.ept.unmap_region(region)
+        for vmcs in ctx.vmcs.values():
+            vmcs.touch()
+        self.issue_memory_update(ctx)
+
+    def issue_memory_update(self, ctx: EnclaveVirtContext) -> int:
+        """Enqueue MEMORY_UPDATE on every core and ring the NMI doorbell;
+        blocks (synchronously, as the paper's unmap path does) until each
+        core has completed its flush.  Returns cores updated."""
+        return self.issue_command(ctx, CommandType.MEMORY_UPDATE)
+
+    def issue_command(self, ctx: EnclaveVirtContext, ctype: CommandType) -> int:
+        """Send a command to every live core of an enclave and wait for
+        completion.  The doorbell is a real NMI IPI: delivery invokes
+        the hypervisor's service loop on the target core."""
+        host_core = min(self.mcp.host.online_cores)
+        host_apic = self.machine.core(host_core).apic
+        assert host_apic is not None
+        updated = 0
+        for core_id, queue in ctx.queues.items():
+            hv = ctx.hypervisors[core_id]
+            if hv.terminated:
+                continue
+            cmd = queue.enqueue(ctype)
+            host_apic.write_icr(core_id, 2, DeliveryMode.NMI)
+            if not queue.is_completed(cmd):
+                raise RuntimeError(
+                    f"core {core_id} failed to service {ctype.name}"
+                )
+            updated += 1
+        return updated
+
+    # -- vector namespace --------------------------------------------------
+
+    def _on_vector_grant(self, grant: VectorGrant) -> None:
+        for sender_id in grant.allowed_senders:
+            ctx = self.contexts.get(sender_id)
+            if ctx is not None and ctx.whitelist is not None:
+                ctx.whitelist.allow(grant.dest_core, grant.vector)
+
+    def _on_vector_revoke(self, grant: VectorGrant) -> None:
+        for sender_id in grant.allowed_senders:
+            ctx = self.contexts.get(sender_id)
+            if ctx is not None and ctx.whitelist is not None:
+                ctx.whitelist.revoke(grant.dest_core, grant.vector)
+
+    # -- fault path --------------------------------------------------------
+
+    def _on_fault(self, fault: CovirtFault) -> None:
+        """A hypervisor terminated its guest: collect the debugging
+        dossier, log, and tell the MCP to reclaim + notify dependents."""
+        from repro.core.debug import FaultDossier
+
+        self.fault_log.append(fault)
+        ctx = self.contexts.get(fault.enclave_id)
+        if ctx is not None:
+            # Park the sibling hypervisors too (the whole enclave dies).
+            for hv in ctx.hypervisors.values():
+                hv.terminated = True
+            # The state a developer gets instead of a dead node.
+            self.dossiers[fault.enclave_id] = FaultDossier.collect(ctx, fault)
+        # Route termination to whichever framework owns the partition.
+        if fault.enclave_id in self.mcp.kmod.enclaves:
+            self.mcp.enclave_failed(fault.enclave_id, fault.to_record())
+            return
+        for framework in self._frameworks:
+            instances = getattr(framework, "instances", None)
+            if instances is None:
+                continue
+            for os_index, enclave in instances.items():
+                if enclave.enclave_id == fault.enclave_id:
+                    framework.terminate(os_index, fault.to_record())
+                    return
+
+    # -- teardown ------------------------------------------------------
+
+    def _on_teardown(self, enclave: Enclave) -> None:
+        ctx = self.contexts.pop(enclave.enclave_id, None)
+        if ctx is None:
+            return
+        self.machine.memory.transfer(
+            ctx.private_region, covirt_owner(enclave.enclave_id), OFFLINE_OWNER
+        )
+        self.mcp.host.online_memory_return(ctx.private_region)
+
+    # -- ioctl surface ---------------------------------------------------
+
+    def _ioctl_status(self, enclave_id: int) -> dict:
+        ctx = self.contexts.get(enclave_id)
+        if ctx is None:
+            return {"protected": False}
+        return {
+            "protected": True,
+            "features": ctx.config.features,
+            "ipi_mode": ctx.config.effective_ipi_mode.value,
+            "ept_mapped_bytes": ctx.ept.mapped_bytes if ctx.ept else 0,
+            "terminated": any(h.terminated for h in ctx.hypervisors.values()),
+        }
+
+    def _ioctl_counters(self, enclave_id: int) -> PerfCounters:
+        ctx = self.contexts.get(enclave_id)
+        if ctx is None:
+            raise KeyError(f"enclave {enclave_id} is not protected")
+        return ctx.aggregate_counters()
+
+    def _ioctl_dossier(self, enclave_id: int) -> "FaultDossier":
+        """Fetch the crash report for a terminated enclave."""
+        dossier = self.dossiers.get(enclave_id)
+        if dossier is None:
+            raise KeyError(f"no fault dossier for enclave {enclave_id}")
+        return dossier
+
+    def _ioctl_ping(self, enclave_id: int) -> int:
+        """Liveness check through the full command path."""
+        ctx = self.contexts.get(enclave_id)
+        if ctx is None:
+            raise KeyError(f"enclave {enclave_id} is not protected")
+        host_core = min(self.mcp.host.online_cores)
+        host_apic = self.machine.core(host_core).apic
+        assert host_apic is not None
+        answered = 0
+        for core_id, queue in ctx.queues.items():
+            if ctx.hypervisors[core_id].terminated:
+                continue
+            cmd = queue.enqueue(CommandType.PING)
+            host_apic.write_icr(core_id, 2, DeliveryMode.NMI)
+            if queue.is_completed(cmd):
+                answered += 1
+        return answered

@@ -1,0 +1,225 @@
+"""The virtualized execution port.
+
+This is what an enclave's software gets instead of the
+:class:`~repro.pisces.enclave.NativeAccessPort` when Covirt is
+interposed.  Every architectural operation consults the VMCS controls
+exactly the way hardware would: operations the configuration lets pass
+execute natively (at native cost); operations the configuration traps
+become VM exits dispatched to the hypervisor's handlers.
+
+The port is deliberately *bit-compatible* with the native port — same
+methods, same success results — so the co-kernel cannot tell which it
+is running on (the transparency requirement).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import exits as exit_handlers
+from repro.core.faults import CovirtFault, FaultKind
+from repro.core.features import Feature
+from repro.hw.apic import DeliveryMode, IpiMessage
+from repro.hw.interrupts import ExceptionClass, exception_class
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.tlb import TlbEntry
+from repro.vmx.ept import EptViolationInfo
+from repro.vmx.exits import ExitReason
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import EnclaveVirtContext
+    from repro.core.hypervisor import CovirtHypervisor
+
+
+class VirtualizedAccessPort:
+    """Architectural operations under Covirt."""
+
+    def __init__(self, machine: Machine, ctx: "EnclaveVirtContext") -> None:
+        self.machine = machine
+        self.ctx = ctx
+
+    # -- helpers -------------------------------------------------------
+
+    @property
+    def enclave(self):
+        return self.ctx.enclave
+
+    def _hv(self, core_id: int) -> "CovirtHypervisor":
+        return self.ctx.hypervisors[core_id]
+
+    # -- memory ----------------------------------------------------------
+
+    def _translate(self, core_id: int, addr: int, *, write: bool) -> None:
+        """One page's worth of address translation, with real TLB
+        semantics: a cached translation short-circuits the EPT walk —
+        including a *stale* one, which is precisely why unmaps must be
+        followed by the flush command before memory is reclaimed."""
+        core = self.machine.core(core_id)
+        assert core.tlb is not None
+        if core.tlb.lookup(addr) is not None:
+            return  # cached — no nested walk, no protection check
+        assert self.ctx.ept is not None
+        result = self.ctx.ept.table.translate(addr, write=write)
+        if isinstance(result, EptViolationInfo):
+            hv = self._hv(core_id)
+            exit = hv.make_exit(ExitReason.EPT_VIOLATION, result)
+            exit_handlers.dispatch(hv, exit)  # raises EnclaveFaultError
+            raise AssertionError("unreachable")  # pragma: no cover
+        _hpa, mapping = result
+        core.tlb.insert(
+            TlbEntry(
+                virt_page=addr & ~(mapping.page_size - 1),
+                phys_page=mapping.host_page,
+                page_size=mapping.page_size,
+            )
+        )
+        # The nested walk costs a few extra cycles over a native walk.
+        core.advance(
+            int(
+                self.ctx.costs.tlb_miss_native
+                + self.ctx.costs.ept_extra_per_miss(mapping.page_size)
+            )
+        )
+
+    def _access(self, core_id: int, addr: int, length: int, *, write: bool) -> None:
+        self.enclave.require_running()
+        if not self.ctx.config.has(Feature.MEMORY):
+            return  # EPT disabled: no nested translation, no checks
+        page = addr & ~(PAGE_SIZE - 1)
+        last_page = (addr + max(length, 1) - 1) & ~(PAGE_SIZE - 1)
+        while page <= last_page:
+            self._translate(core_id, page, write=write)
+            page += PAGE_SIZE
+
+    def read(self, core_id: int, addr: int, length: int) -> bytes:
+        self._access(core_id, addr, length, write=False)
+        return self.machine.memory.read(addr, length)
+
+    def write(self, core_id: int, addr: int, data: bytes) -> None:
+        self._access(core_id, addr, len(data), write=True)
+        self.machine.memory.write(addr, data)
+
+    # -- IPIs ------------------------------------------------------------
+
+    def send_ipi(
+        self,
+        core_id: int,
+        dest_core: int,
+        vector: int,
+        mode: DeliveryMode = DeliveryMode.FIXED,
+    ) -> bool:
+        self.enclave.require_running()
+        if not self.ctx.config.has(Feature.IPI):
+            apic = self.machine.core(core_id).apic
+            assert apic is not None
+            apic.write_icr(dest_core, vector, mode)
+            return True
+        hv = self._hv(core_id)
+        msg = IpiMessage(core_id, dest_core, vector, mode)
+        exit = hv.make_exit(ExitReason.APIC_WRITE, msg)
+        return bool(exit_handlers.dispatch(hv, exit))
+
+    # -- MSRs ------------------------------------------------------------
+
+    def rdmsr(self, core_id: int, index: int) -> int:
+        self.enclave.require_running()
+        core = self.machine.core(core_id)
+        assert core.msrs is not None
+        if not self.ctx.config.has(Feature.MSR):
+            return core.msrs.read(index)
+        assert self.ctx.msr_bitmap is not None
+        if not self.ctx.msr_bitmap.should_exit(index, is_write=False):
+            return core.msrs.read(index)
+        hv = self._hv(core_id)
+        return int(
+            exit_handlers.dispatch(hv, hv.make_exit(ExitReason.MSR_READ, index))
+        )
+
+    def wrmsr(self, core_id: int, index: int, value: int) -> None:
+        self.enclave.require_running()
+        core = self.machine.core(core_id)
+        assert core.msrs is not None
+        if not self.ctx.config.has(Feature.MSR):
+            core.msrs.write(index, value)
+            return
+        assert self.ctx.msr_bitmap is not None
+        if not self.ctx.msr_bitmap.should_exit(index, is_write=True):
+            core.msrs.write(index, value)
+            return
+        hv = self._hv(core_id)
+        exit_handlers.dispatch(
+            hv, hv.make_exit(ExitReason.MSR_WRITE, (index, value))
+        )
+
+    # -- I/O ports -------------------------------------------------------
+
+    def io_in(self, core_id: int, port: int) -> int:
+        self.enclave.require_running()
+        if not self.ctx.config.has(Feature.IOPORT):
+            return self.machine.ioports.read(port, core_id)
+        assert self.ctx.io_bitmap is not None
+        if not self.ctx.io_bitmap.should_exit(port):
+            return self.machine.ioports.read(port, core_id)
+        hv = self._hv(core_id)
+        result = exit_handlers.dispatch(
+            hv, hv.make_exit(ExitReason.IO_INSTRUCTION, (port, 0, False))
+        )
+        return int(result)
+
+    def io_out(self, core_id: int, port: int, value: int) -> None:
+        self.enclave.require_running()
+        if not self.ctx.config.has(Feature.IOPORT):
+            self.machine.ioports.write(port, value, core_id)
+            return
+        assert self.ctx.io_bitmap is not None
+        if not self.ctx.io_bitmap.should_exit(port):
+            self.machine.ioports.write(port, value, core_id)
+            return
+        hv = self._hv(core_id)
+        exit_handlers.dispatch(
+            hv, hv.make_exit(ExitReason.IO_INSTRUCTION, (port, value, True))
+        )
+
+    # -- exceptions --------------------------------------------------------
+
+    def raise_exception(self, core_id: int, vector: int) -> None:
+        """Under Covirt, abort-class exceptions never reach the node:
+        with the exceptions feature on they trap as exceptions; with it
+        off the guest's failure to handle them becomes a triple fault —
+        which VMX architecture *always* exits on.  Either way, only the
+        enclave dies."""
+        self.enclave.require_running()
+        if exception_class(vector) is not ExceptionClass.ABORT:
+            return  # the guest kernel handles its own faults/traps
+        hv = self._hv(core_id)
+        if self.ctx.config.has(Feature.EXCEPTIONS):
+            exit_handlers.dispatch(
+                hv, hv.make_exit(ExitReason.EXCEPTION_OR_NMI, vector)
+            )
+        else:
+            exit_handlers.dispatch(
+                hv, hv.make_exit(ExitReason.TRIPLE_FAULT, vector)
+            )
+
+    # -- emulated instructions ----------------------------------------
+
+    def cpuid(self, core_id: int, leaf: int) -> tuple[int, int, int, int]:
+        """CPUID always exits under VMX; Covirt executes it unmodified."""
+        self.enclave.require_running()
+        hv = self._hv(core_id)
+        return exit_handlers.dispatch(hv, hv.make_exit(ExitReason.CPUID, leaf))
+
+    def xsetbv(self, core_id: int, xcr0: int) -> bool:
+        """XSETBV always exits under VMX; Covirt executes it directly."""
+        self.enclave.require_running()
+        hv = self._hv(core_id)
+        return bool(
+            exit_handlers.dispatch(hv, hv.make_exit(ExitReason.XSETBV, xcr0))
+        )
+
+    def hlt(self, core_id: int) -> None:
+        """Guest HLT exits; the hypervisor parks the core itself."""
+        self.enclave.require_running()
+        hv = self._hv(core_id)
+        exit_handlers.dispatch(hv, hv.make_exit(ExitReason.HLT, None))

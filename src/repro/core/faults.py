@@ -1,0 +1,61 @@
+"""Fault taxonomy and termination records.
+
+All EPT access violations are abort-class: the hypervisor terminates
+the co-kernel, notifies the master control process, and halts the CPU
+(Section IV-B).  The record captures enough context to support the
+paper's debugging story — the trace you get *instead of* a node crash.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.pisces.enclave import FaultRecord
+
+
+class FaultKind(enum.Enum):
+    EPT_VIOLATION = "ept_violation"
+    ABORT_EXCEPTION = "abort_exception"
+    SENSITIVE_MSR_WRITE = "sensitive_msr_write"
+    TRIPLE_FAULT = "triple_fault"
+    CONTROLLER_REQUEST = "controller_request"
+
+
+@dataclass(frozen=True)
+class CovirtFault:
+    """A protection fault caught by the hypervisor."""
+
+    kind: FaultKind
+    enclave_id: int
+    core_id: int
+    tsc: int
+    detail: str
+    #: Raw qualification (EptViolationInfo, vector, msr index, ...).
+    qualification: Any = field(default=None, compare=False)
+
+    def to_record(self) -> FaultRecord:
+        """The record handed to Pisces/Hobbes for termination."""
+        return FaultRecord(
+            reason=self.kind.value,
+            detail=self.detail,
+            core_id=self.core_id,
+            tsc=self.tsc,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"[enclave {self.enclave_id} / core {self.core_id} @ {self.tsc}] "
+            f"{self.kind.value}: {self.detail}"
+        )
+
+
+class EnclaveFaultError(Exception):
+    """Raised back into the simulated guest's execution when its enclave
+    is terminated mid-operation (the Python analogue of the vCPU never
+    returning from the faulting instruction)."""
+
+    def __init__(self, fault: CovirtFault) -> None:
+        super().__init__(fault.describe())
+        self.fault = fault

@@ -1,0 +1,64 @@
+"""IPI whitelisting and the two delivery engines.
+
+Outbound: with IPI protection on, every guest ICR write traps; the
+hypervisor checks (destination core, vector) against the enclave's
+whitelist — which the controller keeps synchronised with the Hobbes
+vector allocator — and either re-issues the IPI on the physical APIC or
+silently drops it (Section IV-C: "errant IPIs are simply dropped").
+
+Inbound: trap mode exits on every incoming interrupt and re-injects;
+posted mode delivers IPIs through the PI descriptor with no exit, while
+genuinely external interrupts (and the APIC timer) still exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.apic import DeliveryMode, IpiMessage
+
+
+@dataclass
+class DroppedIpi:
+    """Record of a filtered IPI (kept for diagnostics, per the paper's
+    debugging story)."""
+
+    msg: IpiMessage
+    reason: str
+    tsc: int
+
+
+class IpiWhitelist:
+    """The (dest core, vector) pairs one enclave may signal."""
+
+    def __init__(self) -> None:
+        self._allowed: set[tuple[int, int]] = set()
+        #: NMI-mode sends are never allowed from a guest: NMIs are the
+        #: hypervisor's own doorbell channel.
+        self.dropped: list[DroppedIpi] = []
+
+    def __len__(self) -> int:
+        return len(self._allowed)
+
+    def allow(self, dest_core: int, vector: int) -> None:
+        self._allowed.add((dest_core, vector))
+
+    def revoke(self, dest_core: int, vector: int) -> None:
+        self._allowed.discard((dest_core, vector))
+
+    def permits(self, msg: IpiMessage) -> tuple[bool, str]:
+        """Policy check; returns (allowed, reason-if-denied)."""
+        if msg.mode is DeliveryMode.NMI:
+            return False, "guest NMI transmission is never permitted"
+        if (msg.dest_core, msg.vector) not in self._allowed:
+            return (
+                False,
+                f"(core {msg.dest_core}, vector {msg.vector}) not whitelisted",
+            )
+        return True, ""
+
+    def record_drop(self, msg: IpiMessage, reason: str, tsc: int) -> None:
+        self.dropped.append(DroppedIpi(msg, reason, tsc))
+
+    def allowed_pairs(self) -> set[tuple[int, int]]:
+        return set(self._allowed)

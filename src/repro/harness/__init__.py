@@ -1,0 +1,29 @@
+"""Experiment harness: one driver per paper table/figure."""
+
+from repro.harness.env import CovirtEnvironment, EVALUATION_LAYOUTS
+from repro.harness.experiments import (
+    run_table1,
+    run_fig3_selfish,
+    run_fig4_xemem,
+    run_fig5_stream,
+    run_fig5_randomaccess,
+    run_fig6_minife,
+    run_fig7_hpcg,
+    run_fig8_lammps,
+)
+from repro.harness.report import format_rows, overhead_pct
+
+__all__ = [
+    "CovirtEnvironment",
+    "EVALUATION_LAYOUTS",
+    "run_table1",
+    "run_fig3_selfish",
+    "run_fig4_xemem",
+    "run_fig5_stream",
+    "run_fig5_randomaccess",
+    "run_fig6_minife",
+    "run_fig7_hpcg",
+    "run_fig8_lammps",
+    "format_rows",
+    "overhead_pct",
+]

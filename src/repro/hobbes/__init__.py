@@ -1,0 +1,39 @@
+"""The Hobbes OS/R runtime (simulated).
+
+Hobbes composes applications across enclaves: a master control process
+on the host coordinates enclave lifecycle, a global IPI-vector namespace
+provides cross-enclave signalling, shared-memory command channels carry
+control traffic, and a system-call forwarding service lets LWK processes
+offload heavyweight operations to Linux.
+"""
+
+from repro.hobbes.registry import VectorAllocator, VectorGrant, RegistryError
+from repro.hobbes.channels import CommandChannel, ChannelClosed
+from repro.hobbes.forwarding import SyscallForwarder, FakeLinuxFs
+from repro.hobbes.client import HobbesClient
+from repro.hobbes.master import MasterControlProcess, DependentNotification
+from repro.hobbes.composition import (
+    ComponentSpec,
+    Composition,
+    CompositionError,
+    CouplingSpec,
+    DeployedComposition,
+)
+
+__all__ = [
+    "VectorAllocator",
+    "VectorGrant",
+    "RegistryError",
+    "CommandChannel",
+    "ChannelClosed",
+    "SyscallForwarder",
+    "FakeLinuxFs",
+    "HobbesClient",
+    "MasterControlProcess",
+    "DependentNotification",
+    "ComponentSpec",
+    "Composition",
+    "CompositionError",
+    "CouplingSpec",
+    "DeployedComposition",
+]

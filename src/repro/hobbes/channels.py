@@ -1,0 +1,116 @@
+"""Cross-enclave command channels.
+
+A command channel is a shared-memory ring pair between the host (master
+control process) and an enclave, with IPI doorbells in both directions.
+It carries control traffic: syscall forwarding, XEMEM control calls,
+and MCP coordination.  The doorbell vectors come from the global vector
+allocator — which makes channel signalling subject to Covirt's IPI
+whitelists like any other cross-enclave IPI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.hw.apic import DeliveryMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hobbes.registry import VectorGrant
+    from repro.hw.machine import Machine
+    from repro.pisces.enclave import Enclave
+
+
+class ChannelClosed(Exception):
+    """The peer is gone (enclave terminated, channel torn down)."""
+
+
+@dataclass
+class ChannelMessage:
+    seq: int
+    kind: str
+    payload: Any
+
+
+class CommandChannel:
+    """Host ↔ enclave control channel."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        enclave: "Enclave",
+        host_core: int,
+        to_enclave_grant: "VectorGrant",
+        to_host_grant: "VectorGrant",
+    ) -> None:
+        self.machine = machine
+        self.enclave = enclave
+        self.host_core = host_core
+        self.to_enclave_grant = to_enclave_grant
+        self.to_host_grant = to_host_grant
+        self._to_enclave: deque[ChannelMessage] = deque()
+        self._to_host: deque[ChannelMessage] = deque()
+        self._seq = 0
+        self.open = True
+        self.doorbells_sent = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _require_open(self) -> None:
+        if not self.open:
+            raise ChannelClosed(
+                f"channel to enclave {self.enclave.enclave_id} is closed"
+            )
+
+    # -- host side -------------------------------------------------------
+
+    def host_send(self, kind: str, payload: Any) -> None:
+        """MCP → enclave, with an IPI doorbell into the enclave."""
+        self._require_open()
+        self._to_enclave.append(ChannelMessage(self._next_seq(), kind, payload))
+        # The doorbell is a real IPI from a host core: it traverses the
+        # fabric and, on a Covirt enclave, the virtualization layer.
+        apic = self.machine.core(self.host_core).apic
+        assert apic is not None
+        apic.write_icr(
+            self.to_enclave_grant.dest_core,
+            self.to_enclave_grant.vector,
+            DeliveryMode.FIXED,
+        )
+        self.doorbells_sent += 1
+
+    def host_recv(self) -> ChannelMessage | None:
+        return self._to_host.popleft() if self._to_host else None
+
+    # -- enclave side ----------------------------------------------------
+
+    def enclave_send(self, kind: str, payload: Any) -> None:
+        """Enclave → MCP; the doorbell goes through the enclave's port so
+        Covirt's IPI filtering applies to it."""
+        self._require_open()
+        self._to_host.append(ChannelMessage(self._next_seq(), kind, payload))
+        assert self.enclave.port is not None
+        src_core = self.enclave.assignment.core_ids[0]
+        self.enclave.port.send_ipi(
+            src_core, self.to_host_grant.dest_core, self.to_host_grant.vector
+        )
+        self.doorbells_sent += 1
+
+    def enclave_recv(self) -> ChannelMessage | None:
+        return self._to_enclave.popleft() if self._to_enclave else None
+
+    def close(self) -> None:
+        self.open = False
+        self._to_enclave.clear()
+        self._to_host.clear()
+
+    @property
+    def pending_to_host(self) -> int:
+        return len(self._to_host)
+
+    @property
+    def pending_to_enclave(self) -> int:
+        return len(self._to_enclave)

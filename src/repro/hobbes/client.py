@@ -1,0 +1,90 @@
+"""The enclave-side Hobbes runtime client.
+
+One :class:`HobbesClient` is attached to each enclave's Kitten kernel
+at launch.  It is the glue the kernel calls into for everything that
+crosses the OS/R boundary: delegated syscalls, XEMEM control calls, and
+attachment bookkeeping for user-access checks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.kitten.syscalls import Syscall, SyscallError, EINVAL
+from repro.kitten.task import Task
+from repro.xemem.segment import SegmentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hobbes.channels import CommandChannel
+    from repro.hobbes.master import MasterControlProcess
+    from repro.pisces.enclave import Enclave
+
+
+class HobbesClient:
+    """Per-enclave runtime stub."""
+
+    def __init__(
+        self,
+        mcp: "MasterControlProcess",
+        enclave: "Enclave",
+        channel: "CommandChannel",
+    ) -> None:
+        self.mcp = mcp
+        self.enclave = enclave
+        self.channel = channel
+        self.forwarded = 0
+
+    def _charge_rtt(self) -> None:
+        core = self.machine_core()
+        core.advance(self.mcp.xemem.costs.channel_rtt)
+
+    def machine_core(self):
+        return self.mcp.machine.core(self.enclave.assignment.core_ids[0])
+
+    # -- syscall forwarding ---------------------------------------------
+
+    def forward_syscall(self, task: Task, syscall: Syscall, args: tuple) -> Any:
+        """Ship a delegated syscall to the host proxy over the channel."""
+        self.channel.enclave_send("syscall", (task.tid, syscall, args))
+        self._charge_rtt()
+        # The proxy runs on the host; the MCP services the queue inline.
+        result = self.mcp.service_forwarding(self.channel)
+        self.forwarded += 1
+        return result
+
+    # -- XEMEM ---------------------------------------------------------
+
+    def xemem_syscall(self, task: Task, syscall: Syscall, args: tuple) -> Any:
+        eid = self.enclave.enclave_id
+        core = self.enclave.assignment.core_ids[0]
+        if syscall is Syscall.XEMEM_MAKE:
+            name, start, size = args
+            if not task.owns_addr(start, size):
+                raise SyscallError(EINVAL, "xemem_make: range not owned by task")
+            segment = self.mcp.xemem.make(eid, name, start, size, core_hint=core)
+            return segment.segid
+        if syscall is Syscall.XEMEM_GET:
+            (name,) = args
+            return self.mcp.xemem.get(name, core_hint=core)
+        if syscall is Syscall.XEMEM_ATTACH:
+            (segid,) = args
+            attachment = self.mcp.xemem.attach(eid, segid, core_hint=core)
+            task.attachments[segid] = attachment.local_addr
+            return attachment.local_addr
+        if syscall is Syscall.XEMEM_DETACH:
+            (segid,) = args
+            self.mcp.xemem.detach(eid, segid, core_hint=core)
+            task.attachments.pop(segid, None)
+            return 0
+        raise SyscallError(EINVAL, f"{syscall.name} is not an XEMEM call")
+
+    def attachment_covers(self, task: Task, addr: int, length: int) -> bool:
+        """Does one of the task's attachments cover [addr, +length)?"""
+        for segid in task.attachments:
+            try:
+                segment = self.mcp.xemem.names.by_segid(segid)
+            except SegmentError:
+                continue
+            if segment.start <= addr and addr + length <= segment.end:
+                return True
+        return False

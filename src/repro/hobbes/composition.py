@@ -1,0 +1,293 @@
+"""Declarative application composition across enclaves.
+
+Hobbes' design goal is *application composition*: "a consistent
+high-level API for composing applications that can automatically adapt
+to arbitrary enclave topologies" (Section I).  This module is that API
+for the reproduction: describe components and the data couplings
+between them; ``deploy`` materialises enclaves, XEMEM segments, and
+doorbell vectors — and when the requested topology doesn't fit the
+machine, components are transparently co-located in shared enclaves,
+with couplings working identically either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.features import CovirtConfig
+from repro.hw.memory import OwnershipError, page_align_up
+from repro.kitten.syscalls import Syscall
+from repro.pisces.enclave import Enclave, EnclaveState
+from repro.pisces.kmod import PiscesError
+from repro.pisces.resources import ResourceSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import CovirtController
+    from repro.kitten.task import Task
+
+MiB = 1 << 20
+
+
+class CompositionError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One process of the composed application."""
+
+    name: str
+    cores_per_zone: dict[int, int]
+    mem_per_zone: dict[int, int]
+    task_mem_bytes: int = 4 * MiB
+    kernel_type: str = "kitten"
+    #: None = native; otherwise the Covirt protection for its enclave.
+    protection: CovirtConfig | None = None
+
+    def resource_spec(self) -> ResourceSpec:
+        return ResourceSpec(
+            cores_per_zone=dict(self.cores_per_zone),
+            mem_per_zone={
+                z: page_align_up(m) for z, m in self.mem_per_zone.items()
+            },
+            name=self.name,
+            kernel_type=self.kernel_type,
+        )
+
+
+@dataclass(frozen=True)
+class CouplingSpec:
+    """A one-way data path between two components."""
+
+    name: str
+    producer: str
+    consumer: str
+    buffer_bytes: int = MiB
+    doorbell: bool = True
+
+
+@dataclass
+class DeployedCoupling:
+    """A materialised coupling."""
+
+    spec: CouplingSpec
+    segid: int
+    buffer_addr: int
+    doorbell_vector: int | None
+    #: True when producer and consumer ended up in the same enclave
+    #: (intra-enclave coupling needs no cross-OS/R machinery).
+    colocated: bool
+    messages: int = 0
+
+
+@dataclass
+class _Placement:
+    enclave: Enclave
+    task: "Task"
+
+
+class Composition:
+    """A composed application description."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.components: dict[str, ComponentSpec] = {}
+        self.couplings: list[CouplingSpec] = []
+
+    def add_component(self, spec: ComponentSpec) -> "Composition":
+        if spec.name in self.components:
+            raise CompositionError(f"duplicate component {spec.name!r}")
+        self.components[spec.name] = spec
+        return self
+
+    def couple(
+        self,
+        producer: str,
+        consumer: str,
+        *,
+        name: str | None = None,
+        buffer_bytes: int = MiB,
+        doorbell: bool = True,
+    ) -> "Composition":
+        for endpoint in (producer, consumer):
+            if endpoint not in self.components:
+                raise CompositionError(f"unknown component {endpoint!r}")
+        self.couplings.append(
+            CouplingSpec(
+                name or f"{producer}->{consumer}",
+                producer,
+                consumer,
+                buffer_bytes,
+                doorbell,
+            )
+        )
+        return self
+
+    def deploy(self, controller: "CovirtController") -> "DeployedComposition":
+        """Materialise the application on the machine.
+
+        Components get dedicated enclaves when resources allow; when an
+        enclave cannot be carved, the component is co-located into an
+        already-deployed enclave with a compatible kernel and
+        protection configuration — the topology adapts, the application
+        does not.
+        """
+        deployed = DeployedComposition(self, controller)
+        try:
+            for spec in self.components.values():
+                deployed._place(spec)
+            for coupling in self.couplings:
+                deployed._wire(coupling)
+        except Exception:
+            deployed.teardown()
+            raise
+        return deployed
+
+
+class DeployedComposition:
+    """A running composed application."""
+
+    def __init__(self, composition: Composition, controller: "CovirtController") -> None:
+        self.composition = composition
+        self.controller = controller
+        self.mcp = controller.mcp
+        self.placements: dict[str, _Placement] = {}
+        self.couplings: dict[str, DeployedCoupling] = {}
+        self._owned_enclaves: list[int] = []
+
+    # -- placement -------------------------------------------------------
+
+    def _place(self, spec: ComponentSpec) -> None:
+        try:
+            enclave = self.controller.launch(spec.resource_spec(), spec.protection)
+            self._owned_enclaves.append(enclave.enclave_id)
+        except (PiscesError, OwnershipError) as exc:
+            enclave = self._find_colocation_host(spec)
+            if enclave is None:
+                raise CompositionError(
+                    f"cannot place component {spec.name!r}: {exc}"
+                ) from exc
+        assert enclave.kernel is not None
+        task = enclave.kernel.spawn(spec.name, mem_bytes=spec.task_mem_bytes)
+        self.placements[spec.name] = _Placement(enclave, task)
+
+    def _find_colocation_host(self, spec: ComponentSpec) -> Enclave | None:
+        """An already-placed enclave this component may share."""
+        for placement in self.placements.values():
+            enclave = placement.enclave
+            if enclave.state is not EnclaveState.RUNNING:
+                continue
+            if enclave.spec.kernel_type != spec.kernel_type:
+                continue
+            ctx = self.controller.context_for(enclave.enclave_id)
+            have = ctx.config if ctx else None
+            if have != spec.protection:
+                continue
+            return enclave
+        return None
+
+    def enclave_of(self, component: str) -> Enclave:
+        return self.placements[component].enclave
+
+    def task_of(self, component: str) -> "Task":
+        return self.placements[component].task
+
+    def colocated(self, a: str, b: str) -> bool:
+        return (
+            self.enclave_of(a).enclave_id == self.enclave_of(b).enclave_id
+        )
+
+    # -- wiring ------------------------------------------------------------
+
+    def _wire(self, spec: CouplingSpec) -> None:
+        producer = self.placements[spec.producer]
+        consumer = self.placements[spec.consumer]
+        kernel = producer.enclave.kernel
+        assert kernel is not None
+        buffer_bytes = page_align_up(spec.buffer_bytes)
+        if producer.task.memory_bytes < buffer_bytes:
+            raise CompositionError(
+                f"coupling {spec.name!r}: producer task has "
+                f"{producer.task.memory_bytes} bytes, needs {buffer_bytes}"
+            )
+        buffer_addr = producer.task.slices[0].start
+        segid = kernel.syscall(
+            producer.task,
+            Syscall.XEMEM_MAKE,
+            f"{self.composition.name}/{spec.name}",
+            buffer_addr,
+            buffer_bytes,
+        )
+        colocated = self.colocated(spec.producer, spec.consumer)
+        if not colocated:
+            ckernel = consumer.enclave.kernel
+            assert ckernel is not None
+            ckernel.syscall(consumer.task, Syscall.XEMEM_ATTACH, segid)
+        vector: int | None = None
+        if spec.doorbell and not colocated:
+            dest_core = consumer.enclave.assignment.core_ids[0]
+            grant = self.mcp.vectors.allocate(
+                dest_core=dest_core,
+                dest_enclave_id=consumer.enclave.enclave_id,
+                allowed_senders={producer.enclave.enclave_id},
+                purpose=f"coupling {spec.name}",
+            )
+            vector = grant.vector
+        self.couplings[spec.name] = DeployedCoupling(
+            spec=spec,
+            segid=segid,
+            buffer_addr=buffer_addr,
+            doorbell_vector=vector,
+            colocated=colocated,
+        )
+
+    # -- data flow ---------------------------------------------------------
+
+    def send(self, coupling_name: str, payload: bytes) -> None:
+        """Producer writes into the shared buffer and rings the doorbell."""
+        coupling = self.couplings[coupling_name]
+        if len(payload) > page_align_up(coupling.spec.buffer_bytes):
+            raise CompositionError(f"payload exceeds {coupling.spec.name} buffer")
+        producer = self.placements[coupling.spec.producer]
+        consumer = self.placements[coupling.spec.consumer]
+        pcore = producer.enclave.assignment.core_ids[0]
+        assert producer.enclave.port is not None
+        producer.enclave.port.write(pcore, coupling.buffer_addr, payload)
+        if coupling.doorbell_vector is not None:
+            producer.enclave.port.send_ipi(
+                pcore,
+                consumer.enclave.assignment.core_ids[0],
+                coupling.doorbell_vector,
+            )
+        coupling.messages += 1
+
+    def receive(self, coupling_name: str, length: int) -> bytes:
+        """Consumer reads the shared buffer through its own port."""
+        coupling = self.couplings[coupling_name]
+        consumer = self.placements[coupling.spec.consumer]
+        ccore = consumer.enclave.assignment.core_ids[0]
+        assert consumer.enclave.port is not None
+        return consumer.enclave.port.read(ccore, coupling.buffer_addr, length)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def component_states(self) -> dict[str, str]:
+        return {
+            name: placement.enclave.state.value
+            for name, placement in self.placements.items()
+        }
+
+    def teardown(self) -> None:
+        """Orderly shutdown of every enclave this deployment created."""
+        for enclave_id in reversed(self._owned_enclaves):
+            enclave = self.mcp.kmod.enclaves.get(enclave_id)
+            if enclave is None:
+                continue
+            if enclave.state is EnclaveState.RUNNING:
+                self.mcp.shutdown_enclave(enclave_id)
+            elif enclave.state is EnclaveState.FAILED:
+                pass  # already reclaimed by the fault path
+        self._owned_enclaves.clear()
+        self.placements.clear()
+        self.couplings.clear()

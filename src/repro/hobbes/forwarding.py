@@ -1,0 +1,89 @@
+"""System-call forwarding: the host-side proxy.
+
+Heavyweight syscalls issued by LWK tasks are shipped over the command
+channel to a proxy on the host, executed against the host OS, and the
+result shipped back.  The host "Linux" behind the proxy is a small
+in-memory filesystem + descriptor table — enough to exercise the
+delegation path end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.kitten.syscalls import EINVAL, Syscall, SyscallError
+
+
+class FakeLinuxFs:
+    """The host filesystem delegated syscalls operate on."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, bytes] = {
+            "/etc/hostname": b"hobbes-node-0\n",
+            "/proc/version": b"Linux version 5.x (repro host)\n",
+        }
+        self._fds: dict[int, tuple[str, int]] = {}  # fd -> (path, offset)
+        self._next_fd = 3
+
+    def open(self, path: str) -> int:
+        if path not in self.files:
+            raise SyscallError(2, f"ENOENT: {path}")  # ENOENT
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = (path, 0)
+        return fd
+
+    def read(self, fd: int, count: int) -> bytes:
+        if fd not in self._fds:
+            raise SyscallError(9, f"EBADF: {fd}")  # EBADF
+        path, offset = self._fds[fd]
+        data = self.files[path][offset : offset + count]
+        self._fds[fd] = (path, offset + len(data))
+        return data
+
+    def close(self, fd: int) -> None:
+        if self._fds.pop(fd, None) is None:
+            raise SyscallError(9, f"EBADF: {fd}")
+
+    def stat(self, path: str) -> dict[str, int]:
+        if path not in self.files:
+            raise SyscallError(2, f"ENOENT: {path}")
+        return {"size": len(self.files[path])}
+
+    @property
+    def open_fds(self) -> int:
+        return len(self._fds)
+
+
+@dataclass
+class ForwardingStats:
+    round_trips: int = 0
+    by_syscall: dict[str, int] = field(default_factory=dict)
+
+
+class SyscallForwarder:
+    """The host-side proxy process."""
+
+    def __init__(self, fs: FakeLinuxFs | None = None) -> None:
+        self.fs = fs or FakeLinuxFs()
+        self.stats = ForwardingStats()
+
+    def execute(self, syscall: Syscall, args: tuple[Any, ...]) -> Any:
+        """Run one delegated syscall on the host."""
+        self.stats.round_trips += 1
+        self.stats.by_syscall[syscall.name] = (
+            self.stats.by_syscall.get(syscall.name, 0) + 1
+        )
+        if syscall is Syscall.OPEN:
+            return self.fs.open(args[0])
+        if syscall is Syscall.READ:
+            return self.fs.read(args[0], args[1])
+        if syscall is Syscall.CLOSE:
+            self.fs.close(args[0])
+            return 0
+        if syscall is Syscall.STAT:
+            return self.fs.stat(args[0])
+        if syscall is Syscall.SOCKET:
+            raise SyscallError(EINVAL, "sockets not modelled on this host")
+        raise SyscallError(EINVAL, f"{syscall.name} is not a delegated syscall")

@@ -1,0 +1,168 @@
+"""The Hobbes master control process (MCP).
+
+The MCP is the host-side brain of the co-kernel system: it drives
+enclave lifecycle through the Pisces kernel module, owns the global
+vector namespace and the XEMEM service, runs the syscall-forwarding
+proxy, and — critically for Covirt — is the component whose control
+paths the Covirt controller module hooks into.
+
+It is also the fault-handling authority: when a Covirt hypervisor
+terminates an enclave, the MCP reclaims the enclave's resources and
+notifies every component that had dependencies on it (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.hobbes.channels import CommandChannel
+from repro.hobbes.client import HobbesClient
+from repro.hobbes.forwarding import SyscallForwarder
+from repro.hobbes.registry import VectorAllocator
+from repro.hw.machine import Machine
+from repro.kitten.syscalls import SyscallError
+from repro.linuxhost.host import LinuxHost
+from repro.pisces.enclave import Enclave, EnclaveState, FaultRecord
+from repro.pisces.kmod import PiscesKmod
+from repro.pisces.resources import ResourceSpec
+from repro.xemem.api import XememService
+from repro.xemem.segment import HOST_ENCLAVE_ID
+
+
+@dataclass
+class DependentNotification:
+    """Record of a dependency-failure notification sent by the MCP."""
+
+    enclave_id: int  # the notified party (HOST_ENCLAVE_ID for the host)
+    about_enclave_id: int  # the failed party
+    what: str
+
+
+class MasterControlProcess:
+    """The Hobbes MCP."""
+
+    def __init__(self, machine: Machine, host: LinuxHost) -> None:
+        self.machine = machine
+        self.host = host
+        self.kmod = PiscesKmod(machine, host)
+        self.vectors = VectorAllocator()
+        self.xemem = XememService(machine, self._resolve_enclave)
+        self.forwarder = SyscallForwarder()
+        self.channels: dict[int, CommandChannel] = {}
+        self.notifications: list[DependentNotification] = []
+        #: Slot the Covirt controller occupies once activated.
+        self.covirt_controller: Any = None
+
+    def _resolve_enclave(self, enclave_id: int) -> Enclave | None:
+        return self.kmod.enclaves.get(enclave_id)
+
+    def _host_core(self) -> int:
+        return min(self.host.online_cores)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def launch_enclave(self, spec: ResourceSpec) -> Enclave:
+        """create → boot → wire the runtime (channel + client)."""
+        enclave = self.kmod.create_enclave(spec)
+        self.kmod.boot_enclave(enclave.enclave_id)
+        self._wire_runtime(enclave)
+        return enclave
+
+    def _wire_runtime(self, enclave: Enclave) -> None:
+        host_core = self._host_core()
+        enclave_bsp = enclave.assignment.core_ids[0]
+        to_enclave = self.vectors.allocate(
+            dest_core=enclave_bsp,
+            dest_enclave_id=enclave.enclave_id,
+            allowed_senders={HOST_ENCLAVE_ID},
+            purpose=f"channel doorbell → enclave {enclave.enclave_id}",
+        )
+        to_host = self.vectors.allocate(
+            dest_core=host_core,
+            dest_enclave_id=HOST_ENCLAVE_ID,
+            allowed_senders={enclave.enclave_id},
+            purpose=f"channel doorbell → host from enclave {enclave.enclave_id}",
+        )
+        channel = CommandChannel(
+            self.machine, enclave, host_core, to_enclave, to_host
+        )
+        self.channels[enclave.enclave_id] = channel
+        assert enclave.kernel is not None
+        enclave.kernel.hobbes_client = HobbesClient(self, enclave, channel)
+
+    def shutdown_enclave(self, enclave_id: int) -> None:
+        """Orderly teardown of a running enclave."""
+        self._release_dependencies(enclave_id, notify=False)
+        self.kmod.destroy_enclave(enclave_id)
+
+    # -- syscall forwarding ---------------------------------------------
+
+    def service_forwarding(self, channel: CommandChannel) -> Any:
+        """Drain one forwarded syscall from a channel and execute it."""
+        msg = channel.host_recv()
+        if msg is None:
+            raise SyscallError(5, "forwarding: empty channel")  # EIO
+        _tid, syscall, args = msg.payload
+        return self.forwarder.execute(syscall, args)
+
+    # -- fault handling ------------------------------------------------
+
+    def enclave_failed(self, enclave_id: int, fault: FaultRecord) -> list[
+        DependentNotification
+    ]:
+        """A Covirt hypervisor terminated an enclave.
+
+        The MCP (1) ensures the enclave is parked, (2) severs every
+        dependency other components had on it — channels, XEMEM
+        segments, vector grants — notifying the dependents, and
+        (3) reclaims the hardware resources back to the host.
+        Returns the notifications sent.
+        """
+        enclave = self.kmod.enclave(enclave_id)
+        if enclave.state is not EnclaveState.FAILED:
+            self.kmod.terminate_enclave(enclave_id, fault)
+        before = len(self.notifications)
+        self._release_dependencies(enclave_id, notify=True)
+        self.kmod.reclaim_enclave(enclave_id)
+        return self.notifications[before:]
+
+    def _release_dependencies(self, enclave_id: int, *, notify: bool) -> None:
+        # 1. Channels.
+        channel = self.channels.pop(enclave_id, None)
+        if channel is not None:
+            channel.close()
+            if notify:
+                self.notifications.append(
+                    DependentNotification(
+                        HOST_ENCLAVE_ID, enclave_id, "channel closed"
+                    )
+                )
+        # 2. Segments the dead enclave had attached: detach bookkeeping.
+        for segment in self.xemem.names.segments_attached_by(enclave_id):
+            segment.detach_for(enclave_id)
+        # 3. Segments the dead enclave owned: every attacher must drop
+        #    them (proper detach path, so memmaps and EPTs stay in sync).
+        for segment in self.xemem.names.segments_owned_by(enclave_id):
+            for attacher_id in list(segment.attachments):
+                self.xemem.detach(attacher_id, segment.segid)
+                if notify:
+                    self.notifications.append(
+                        DependentNotification(
+                            attacher_id,
+                            enclave_id,
+                            f"segment {segment.name!r} revoked",
+                        )
+                    )
+            self.xemem.names.unregister(segment.segid)
+        # 4. Vector grants naming the enclave.
+        for grant in self.vectors.grants_involving(enclave_id):
+            self.vectors.revoke(grant)
+            if notify and grant.dest_enclave_id != enclave_id:
+                self.notifications.append(
+                    DependentNotification(
+                        grant.dest_enclave_id,
+                        enclave_id,
+                        f"vector {grant.vector}@core{grant.dest_core} revoked",
+                    )
+                )

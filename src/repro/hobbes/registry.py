@@ -1,0 +1,104 @@
+"""The global IPI-vector namespace.
+
+In Hobbes, per-core IPI vectors are a *globally allocatable application
+resource* (Section IV-C): any component may be granted the right to
+signal a specific core on a specific vector, across OS/R boundaries.
+The allocator is the system-wide source of truth that Covirt's IPI
+whitelists are derived from, via the grant/revoke hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.hw.interrupts import FIRST_ALLOCATABLE_VECTOR
+
+#: Vectors below this are reserved for fixed platform uses (timer,
+#: spurious, Covirt's PIV notification vector, ...).
+FIRST_DYNAMIC_VECTOR = 48
+LAST_DYNAMIC_VECTOR = 239
+
+
+class RegistryError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class VectorGrant:
+    """The right, held by ``allowed_senders``, to IPI ``dest_core`` on
+    ``vector``."""
+
+    vector: int
+    dest_core: int
+    dest_enclave_id: int
+    allowed_senders: frozenset[int]
+    purpose: str = ""
+
+
+class VectorAllocator:
+    """Allocates (vector, dest core) signalling rights."""
+
+    def __init__(self) -> None:
+        #: (dest_core, vector) → grant
+        self._grants: dict[tuple[int, int], VectorGrant] = {}
+        self.on_grant: list[Callable[[VectorGrant], None]] = []
+        self.on_revoke: list[Callable[[VectorGrant], None]] = []
+
+    def allocate(
+        self,
+        dest_core: int,
+        dest_enclave_id: int,
+        allowed_senders: set[int],
+        purpose: str = "",
+        vector: int | None = None,
+    ) -> VectorGrant:
+        """Grant a vector on ``dest_core``; picks a free one unless pinned."""
+        if vector is None:
+            vector = self._find_free(dest_core)
+        elif not FIRST_DYNAMIC_VECTOR <= vector <= LAST_DYNAMIC_VECTOR:
+            raise RegistryError(f"vector {vector} outside dynamic range")
+        if (dest_core, vector) in self._grants:
+            raise RegistryError(
+                f"vector {vector} on core {dest_core} already granted"
+            )
+        grant = VectorGrant(
+            vector, dest_core, dest_enclave_id, frozenset(allowed_senders), purpose
+        )
+        self._grants[(dest_core, vector)] = grant
+        for hook in self.on_grant:
+            hook(grant)
+        return grant
+
+    def _find_free(self, dest_core: int) -> int:
+        for vector in range(FIRST_DYNAMIC_VECTOR, LAST_DYNAMIC_VECTOR + 1):
+            if (dest_core, vector) not in self._grants:
+                return vector
+        raise RegistryError(f"vector space exhausted on core {dest_core}")
+
+    def revoke(self, grant: VectorGrant) -> None:
+        if self._grants.pop((grant.dest_core, grant.vector), None) is None:
+            raise RegistryError(
+                f"grant {grant.vector}@core{grant.dest_core} not active"
+            )
+        for hook in self.on_revoke:
+            hook(grant)
+
+    def grant_for(self, dest_core: int, vector: int) -> VectorGrant | None:
+        return self._grants.get((dest_core, vector))
+
+    def may_send(self, sender_enclave_id: int, dest_core: int, vector: int) -> bool:
+        """Ground truth the IPI whitelists mirror."""
+        grant = self._grants.get((dest_core, vector))
+        return grant is not None and sender_enclave_id in grant.allowed_senders
+
+    def grants_involving(self, enclave_id: int) -> list[VectorGrant]:
+        """Grants that name ``enclave_id`` as destination or sender."""
+        return [
+            g
+            for g in self._grants.values()
+            if g.dest_enclave_id == enclave_id or enclave_id in g.allowed_senders
+        ]
+
+    def active_grants(self) -> list[VectorGrant]:
+        return list(self._grants.values())

@@ -1,0 +1,184 @@
+"""TCASM-style asynchronous shared-memory data exchange.
+
+The Hobbes papers route application data through higher-level I/O
+libraries — ADIOS and TCASM — layered on XEMEM, so that composed
+applications exchange *versioned snapshots* rather than raw bytes:
+the producer publishes a new version when a computation step completes;
+consumers always read a complete, consistent version (never a torn
+write), asynchronously and without blocking the producer.
+
+This module reproduces that abstraction.  A :class:`VersionedStream`
+owns an XEMEM segment laid out as a version header plus two buffer
+slots (double buffering): publish fills the inactive slot, then flips
+the header atomically.  Everything travels through the enclaves' access
+ports, so Covirt's protections apply to this traffic like any other.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.hw.memory import page_align_up
+from repro.kitten.syscalls import Syscall
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hobbes.master import MasterControlProcess
+    from repro.pisces.enclave import Enclave
+    from repro.kitten.task import Task
+
+#: Header: magic, version, active slot, slot size, payload length, crc32.
+_HEADER = struct.Struct("<IQIIIi")
+HEADER_BYTES = 64
+STREAM_MAGIC = 0x7CA5_0001
+
+
+class StreamError(Exception):
+    pass
+
+
+@dataclass
+class StreamStats:
+    publishes: int = 0
+    reads: int = 0
+    torn_reads_prevented: int = 0
+
+
+class VersionedStream:
+    """A producer-side versioned publication buffer."""
+
+    def __init__(
+        self,
+        mcp: "MasterControlProcess",
+        producer: "Enclave",
+        producer_task: "Task",
+        name: str,
+        slot_bytes: int,
+    ) -> None:
+        self.mcp = mcp
+        self.producer = producer
+        self.slot_bytes = page_align_up(slot_bytes)
+        total = page_align_up(HEADER_BYTES + 2 * self.slot_bytes)
+        if producer_task.memory_bytes < total:
+            raise StreamError(
+                f"producer task needs {total} bytes for stream {name!r}"
+            )
+        self.base = producer_task.slices[0].start
+        kernel = producer.kernel
+        assert kernel is not None
+        self.segid = kernel.syscall(
+            producer_task, Syscall.XEMEM_MAKE, f"tcasm/{name}", self.base, total
+        )
+        self.name = name
+        self.version = 0
+        self.stats = StreamStats()
+        self._write_header(active_slot=0, length=0, crc=0)
+
+    # -- producer side ---------------------------------------------------
+
+    def _pcore(self) -> int:
+        return self.producer.assignment.core_ids[0]
+
+    def _write_header(self, active_slot: int, length: int, crc: int) -> None:
+        assert self.producer.port is not None
+        header = _HEADER.pack(
+            STREAM_MAGIC, self.version, active_slot, self.slot_bytes, length, crc
+        ).ljust(HEADER_BYTES, b"\x00")
+        self.producer.port.write(self._pcore(), self.base, header)
+
+    def _slot_addr(self, slot: int) -> int:
+        return self.base + HEADER_BYTES + slot * self.slot_bytes
+
+    def publish(self, payload: bytes) -> int:
+        """Write a new version into the inactive slot, then flip.
+
+        Readers concurrently consuming the active slot are unaffected;
+        the flip is the last write, so a reader either sees the old
+        complete version or the new complete version.
+        """
+        if len(payload) > self.slot_bytes:
+            raise StreamError(
+                f"payload {len(payload)} exceeds slot {self.slot_bytes}"
+            )
+        assert self.producer.port is not None
+        next_slot = (self.version + 1) % 2
+        self.producer.port.write(
+            self._pcore(), self._slot_addr(next_slot), payload
+        )
+        self.version += 1
+        self._write_header(
+            active_slot=next_slot,
+            length=len(payload),
+            crc=zlib.crc32(payload) & 0x7FFF_FFFF,
+        )
+        self.stats.publishes += 1
+        return self.version
+
+
+class StreamReader:
+    """A consumer-side attachment to a versioned stream."""
+
+    def __init__(
+        self,
+        mcp: "MasterControlProcess",
+        consumer: "Enclave",
+        consumer_task: "Task",
+        name: str,
+    ) -> None:
+        self.mcp = mcp
+        self.consumer = consumer
+        kernel = consumer.kernel
+        assert kernel is not None
+        self.segid = kernel.syscall(consumer_task, Syscall.XEMEM_GET, f"tcasm/{name}")
+        self.base = kernel.syscall(
+            consumer_task, Syscall.XEMEM_ATTACH, self.segid
+        )
+        self.task = consumer_task
+        self.last_version_seen = 0
+        self.stats = StreamStats()
+
+    def _ccore(self) -> int:
+        return self.consumer.assignment.core_ids[0]
+
+    def _read(self, addr: int, length: int) -> bytes:
+        assert self.consumer.port is not None
+        return self.consumer.port.read(self._ccore(), addr, length)
+
+    def read_latest(self) -> tuple[int, bytes] | None:
+        """Fetch the newest complete version (None until first publish).
+
+        Re-reads the header after the payload: if the producer flipped
+        mid-read, retry — the classic seqlock discipline that makes the
+        exchange asynchronous yet consistent.
+        """
+        for _ in range(4):  # bounded retries; one flip per read max
+            header = self._read(self.base, _HEADER.size)
+            magic, version, slot, slot_bytes, length, crc = _HEADER.unpack(header)
+            if magic != STREAM_MAGIC:
+                raise StreamError("stream header corrupt")
+            if version == 0:
+                return None
+            payload = self._read(
+                self.base + HEADER_BYTES + slot * slot_bytes, length
+            )
+            header2 = self._read(self.base, _HEADER.size)
+            if header2 == header:
+                if zlib.crc32(payload) & 0x7FFF_FFFF != crc:
+                    raise StreamError("stream payload corrupt")
+                self.last_version_seen = version
+                self.stats.reads += 1
+                return version, payload
+            self.stats.torn_reads_prevented += 1
+        raise StreamError("publisher outpaced reader repeatedly")
+
+    def has_new_version(self) -> bool:
+        header = self._read(self.base, _HEADER.size)
+        _, version, *_ = _HEADER.unpack(header)
+        return version > self.last_version_seen
+
+    def detach(self) -> None:
+        kernel = self.consumer.kernel
+        assert kernel is not None
+        kernel.syscall(self.task, Syscall.XEMEM_DETACH, self.segid)

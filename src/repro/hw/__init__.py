@@ -1,0 +1,76 @@
+"""Simulated hardware substrate.
+
+This package models the physical machine that the paper's testbed provided:
+cores with per-core TSCs and local APICs, NUMA-partitioned physical memory
+with page-granular ownership, MSR files, I/O port space, per-core TLBs, and
+a global cycle clock with a discrete event queue.
+
+The simulation is *functional* where Covirt's protection semantics need it
+(who owns which page / vector / MSR / port, what is cached in a TLB) and
+*analytic* where only timing matters (TLB miss rates of large workload
+phases).  See ``repro.perf.costs`` for the cycle cost model layered on top.
+"""
+
+from repro.hw.clock import Clock, EventQueue, CYCLES_PER_SECOND, CYCLES_PER_US
+from repro.hw.memory import (
+    PAGE_SIZE,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_1G,
+    MemoryRegion,
+    PhysicalMemory,
+    OwnershipError,
+    page_align_down,
+    page_align_up,
+)
+from repro.hw.numa import NumaTopology, NumaZone
+from repro.hw.cpu import Core, CpuMode
+from repro.hw.apic import LocalApic, IpiMessage, DeliveryMode
+from repro.hw.msr import MsrFile, MSR
+from repro.hw.ioports import IoPortSpace
+from repro.hw.interrupts import (
+    Interrupt,
+    InterruptKind,
+    ExceptionVector,
+    ExceptionClass,
+    exception_class,
+    NMI_VECTOR,
+)
+from repro.hw.tlb import Tlb, TlbEntry, AccessPattern, estimate_miss_rate
+from repro.hw.machine import Machine, MachineConfig
+
+__all__ = [
+    "Clock",
+    "EventQueue",
+    "CYCLES_PER_SECOND",
+    "CYCLES_PER_US",
+    "PAGE_SIZE",
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_1G",
+    "MemoryRegion",
+    "PhysicalMemory",
+    "OwnershipError",
+    "page_align_down",
+    "page_align_up",
+    "NumaTopology",
+    "NumaZone",
+    "Core",
+    "CpuMode",
+    "LocalApic",
+    "IpiMessage",
+    "DeliveryMode",
+    "MsrFile",
+    "MSR",
+    "IoPortSpace",
+    "Interrupt",
+    "InterruptKind",
+    "ExceptionVector",
+    "ExceptionClass",
+    "exception_class",
+    "NMI_VECTOR",
+    "Tlb",
+    "TlbEntry",
+    "AccessPattern",
+    "estimate_miss_rate",
+    "Machine",
+    "MachineConfig",
+]

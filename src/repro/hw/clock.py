@@ -1,0 +1,154 @@
+"""Global cycle clock and discrete event queue.
+
+All timing in the simulator is expressed in CPU cycles of a nominal
+1.70 GHz part (the paper's Xeon E5-2603 v4).  Cores keep their own TSC
+offsets but share this single notion of simulated time, which is what a
+synchronized-invariant-TSC machine provides.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Nominal core frequency of the simulated machine (Xeon E5-2603 v4).
+CYCLES_PER_SECOND: int = 1_700_000_000
+CYCLES_PER_MS: int = CYCLES_PER_SECOND // 1_000
+CYCLES_PER_US: int = CYCLES_PER_SECOND // 1_000_000
+
+
+def cycles_to_us(cycles: int | float) -> float:
+    """Convert a cycle count into microseconds of simulated time."""
+    return cycles / CYCLES_PER_US
+
+
+def us_to_cycles(us: int | float) -> int:
+    """Convert microseconds of simulated time into cycles."""
+    return int(us * CYCLES_PER_US)
+
+
+class Clock:
+    """Monotonic global cycle counter.
+
+    The clock only moves forward.  Components that need to model elapsed
+    work call :meth:`advance`; components that need a timestamp read
+    :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before cycle 0")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    def advance(self, cycles: int | float) -> int:
+        """Move time forward by ``cycles`` and return the new time."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by {cycles} cycles")
+        self._now += int(cycles)
+        return self._now
+
+    def advance_to(self, deadline: int) -> int:
+        """Move time forward to ``deadline`` (no-op if already past)."""
+        if deadline > self._now:
+            self._now = int(deadline)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now})"
+
+
+@dataclass(order=True)
+class _Event:
+    when: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """Discrete event queue driven by a :class:`Clock`.
+
+    Events fire in timestamp order; ties break in scheduling order.  The
+    queue powers periodic machinery such as APIC timers and deferred
+    controller work.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(
+        self, delay: int, callback: Callable[[], Any], *, tag: str = ""
+    ) -> _Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        event = _Event(self.clock.now + int(delay), next(self._seq), callback, tag)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self, when: int, callback: Callable[[], Any], *, tag: str = ""
+    ) -> _Event:
+        """Schedule ``callback`` at absolute cycle ``when``."""
+        if when < self.clock.now:
+            raise ValueError("cannot schedule events in the past")
+        event = _Event(int(when), next(self._seq), callback, tag)
+        heapq.heappush(self._heap, event)
+        return event
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    def next_deadline(self) -> int | None:
+        """Timestamp of the earliest pending event, or None if empty."""
+        self._drop_cancelled()
+        return self._heap[0].when if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def run_until(self, deadline: int) -> int:
+        """Fire every event scheduled at or before ``deadline``.
+
+        The clock is advanced to each event's timestamp as it fires and to
+        ``deadline`` at the end.  Returns the number of events fired.
+        """
+        fired = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0].when > deadline:
+                break
+            event = heapq.heappop(self._heap)
+            self.clock.advance_to(event.when)
+            event.callback()
+            fired += 1
+        self.clock.advance_to(deadline)
+        return fired
+
+    def run_next(self) -> bool:
+        """Fire the single earliest event; returns False if none pending."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.when)
+        event.callback()
+        return True

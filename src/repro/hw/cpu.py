@@ -1,0 +1,110 @@
+"""Per-core CPU state.
+
+A :class:`Core` carries the minimum architectural state the co-kernel
+stack needs: a TSC (each core advances its own, as on an
+invariant-TSC machine), an execution mode (host kernel, hypervisor root
+mode, or guest non-root mode), a halt flag, and slots for the devices
+the machine attaches (local APIC, MSR file, TLB).
+
+Cores do not fetch/decode instructions; workloads present the simulator
+with *phases* (see ``repro.workloads.base``) whose cost the performance
+model converts into TSC advancement.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.apic import LocalApic
+    from repro.hw.msr import MsrFile
+    from repro.hw.tlb import Tlb
+
+
+def host_cpuid(leaf: int, core_id: int) -> tuple[int, int, int, int]:
+    """The simulated part's CPUID surface.
+
+    Shared by the native execution path and Covirt's CPUID emulation so
+    tests can assert the guest sees the *identical* processor — the
+    zero-abstraction property.
+    """
+    if leaf == 0x0:
+        return (0x16, 0x756E_6547, 0x6C65_746E, 0x4965_6E69)  # GenuineIntel
+    if leaf == 0x1:
+        # family 6, model 0x4F (Broadwell-EP), stepping 1
+        return (0x000406F1, core_id << 24, 0x7FFE_FBFF, 0xBFEB_FBFF)
+    if leaf == 0xB:
+        return (0, 1, 0x100, core_id)  # topology: one thread per core
+    return (0, 0, 0, 0)
+
+
+class CpuMode(enum.Enum):
+    """Which software layer the core is currently executing."""
+
+    #: Running the host Linux OS (or offlined, pre-enclave-boot).
+    HOST = "host"
+    #: Running VMX root mode — the Covirt hypervisor.
+    HYPERVISOR = "hypervisor"
+    #: Running VMX non-root mode — the co-kernel guest.
+    GUEST = "guest"
+    #: Running a co-kernel natively, with no hypervisor interposed.
+    NATIVE_GUEST = "native_guest"
+
+
+class Core:
+    """One hardware thread of the simulated machine."""
+
+    def __init__(self, core_id: int, zone: int) -> None:
+        self.core_id = core_id
+        self.zone = zone
+        self.tsc: int = 0
+        self.mode: CpuMode = CpuMode.HOST
+        self.halted: bool = False
+        #: Set once the machine wires up the per-core devices.
+        self.apic: "LocalApic | None" = None
+        self.msrs: "MsrFile | None" = None
+        self.tlb: "Tlb | None" = None
+        #: Opaque slot for whichever software context owns the core
+        #: (host scheduler, hypervisor instance, kitten kernel, ...).
+        self.context: Any = None
+        #: Monotonic count of VM entries performed on this core.
+        self.vm_entries: int = 0
+
+    def advance(self, cycles: int | float) -> int:
+        """Consume ``cycles`` of execution time on this core."""
+        if cycles < 0:
+            raise ValueError("cannot run a negative number of cycles")
+        self.tsc += int(cycles)
+        return self.tsc
+
+    def read_tsc(self) -> int:
+        """RDTSC — the instruction the paper's latency probes use."""
+        return self.tsc
+
+    def sync_tsc(self, value: int) -> None:
+        """Bring the TSC up to ``value`` (never backwards)."""
+        if value > self.tsc:
+            self.tsc = int(value)
+
+    def halt(self) -> None:
+        """HLT — parks the core until an interrupt (or teardown) revives it."""
+        self.halted = True
+
+    def resume(self) -> None:
+        self.halted = False
+
+    def reset(self) -> None:
+        """Warm reset: clear execution state, keep device wiring."""
+        self.mode = CpuMode.HOST
+        self.halted = False
+        self.context = None
+        self.vm_entries = 0
+        if self.tlb is not None:
+            self.tlb.flush_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"Core(id={self.core_id}, zone={self.zone}, mode={self.mode.value},"
+            f" tsc={self.tsc}{', halted' if self.halted else ''})"
+        )

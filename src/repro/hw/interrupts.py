@@ -1,0 +1,126 @@
+"""Interrupt and exception vocabulary of the simulated machine.
+
+The x86 vector space (0..255) is reproduced: vectors 0..31 are reserved
+for processor exceptions, vector 2 is the NMI, and 32..255 are freely
+allocatable interrupt vectors.  Hobbes treats per-core IPI vectors in the
+allocatable range as a globally allocatable application resource; Covirt's
+IPI protection polices exactly this space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Number of vectors in the architectural vector space.
+VECTOR_SPACE_SIZE = 256
+#: First vector available for external interrupts / IPIs.
+FIRST_ALLOCATABLE_VECTOR = 32
+#: The non-maskable interrupt vector.
+NMI_VECTOR = 2
+
+
+class ExceptionVector(enum.IntEnum):
+    """Architectural exception vectors (subset relevant to the paper)."""
+
+    DIVIDE_ERROR = 0
+    DEBUG = 1
+    NMI = 2
+    BREAKPOINT = 3
+    OVERFLOW = 4
+    BOUND_RANGE = 5
+    INVALID_OPCODE = 6
+    DEVICE_NOT_AVAILABLE = 7
+    DOUBLE_FAULT = 8
+    INVALID_TSS = 10
+    SEGMENT_NOT_PRESENT = 11
+    STACK_FAULT = 12
+    GENERAL_PROTECTION = 13
+    PAGE_FAULT = 14
+    X87_FP = 16
+    ALIGNMENT_CHECK = 17
+    MACHINE_CHECK = 18
+    SIMD_FP = 19
+
+
+class ExceptionClass(enum.Enum):
+    """Architectural exception classes.
+
+    Abort-class exceptions (double fault, machine check) indicate the
+    machine state is unrecoverable; Covirt traps these so an aborting
+    co-kernel cannot take the node down with it.
+    """
+
+    FAULT = "fault"
+    TRAP = "trap"
+    ABORT = "abort"
+
+
+_EXCEPTION_CLASSES: dict[int, ExceptionClass] = {
+    ExceptionVector.DIVIDE_ERROR: ExceptionClass.FAULT,
+    ExceptionVector.DEBUG: ExceptionClass.FAULT,
+    ExceptionVector.NMI: ExceptionClass.TRAP,
+    ExceptionVector.BREAKPOINT: ExceptionClass.TRAP,
+    ExceptionVector.OVERFLOW: ExceptionClass.TRAP,
+    ExceptionVector.BOUND_RANGE: ExceptionClass.FAULT,
+    ExceptionVector.INVALID_OPCODE: ExceptionClass.FAULT,
+    ExceptionVector.DEVICE_NOT_AVAILABLE: ExceptionClass.FAULT,
+    ExceptionVector.DOUBLE_FAULT: ExceptionClass.ABORT,
+    ExceptionVector.INVALID_TSS: ExceptionClass.FAULT,
+    ExceptionVector.SEGMENT_NOT_PRESENT: ExceptionClass.FAULT,
+    ExceptionVector.STACK_FAULT: ExceptionClass.FAULT,
+    ExceptionVector.GENERAL_PROTECTION: ExceptionClass.FAULT,
+    ExceptionVector.PAGE_FAULT: ExceptionClass.FAULT,
+    ExceptionVector.X87_FP: ExceptionClass.FAULT,
+    ExceptionVector.ALIGNMENT_CHECK: ExceptionClass.FAULT,
+    ExceptionVector.MACHINE_CHECK: ExceptionClass.ABORT,
+    ExceptionVector.SIMD_FP: ExceptionClass.FAULT,
+}
+
+
+def exception_class(vector: int) -> ExceptionClass:
+    """Classify an exception vector; unknown reserved vectors are faults."""
+    if vector >= FIRST_ALLOCATABLE_VECTOR:
+        raise ValueError(f"vector {vector} is not an exception vector")
+    return _EXCEPTION_CLASSES.get(vector, ExceptionClass.FAULT)
+
+
+def is_abort(vector: int) -> bool:
+    """True when ``vector`` is an abort-class exception."""
+    return (
+        vector < FIRST_ALLOCATABLE_VECTOR
+        and exception_class(vector) is ExceptionClass.ABORT
+    )
+
+
+class InterruptKind(enum.Enum):
+    """Where an interrupt came from, for routing and accounting."""
+
+    EXCEPTION = "exception"
+    EXTERNAL = "external"  # device-generated
+    IPI = "ipi"
+    NMI = "nmi"
+    TIMER = "timer"
+
+
+@dataclass(frozen=True)
+class Interrupt:
+    """A single interrupt event as seen by a core."""
+
+    vector: int
+    kind: InterruptKind
+    source_core: int | None = None
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vector < VECTOR_SPACE_SIZE:
+            raise ValueError(f"vector {self.vector} outside vector space")
+
+    @property
+    def is_exception(self) -> bool:
+        return self.vector < FIRST_ALLOCATABLE_VECTOR
+
+    @property
+    def is_abort(self) -> bool:
+        return self.is_exception and is_abort(self.vector)

@@ -1,0 +1,92 @@
+"""Legacy I/O port space.
+
+The co-kernel stack barely touches I/O ports (modern HPC devices are
+MMIO), but errant ``out`` instructions to ports owned by host-managed
+devices are one of the corruption channels Covirt closes with the VMX
+I/O bitmap.  Ports may be backed by simple latched values or by device
+handlers registered by the host OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+PORT_SPACE_SIZE = 0x10000
+
+#: Ports conventionally owned by the platform / host OS in our machine.
+SERIAL_COM1 = 0x3F8
+PIT_CHANNEL0 = 0x40
+KBD_CONTROLLER = 0x64
+RTC_INDEX = 0x70
+RTC_DATA = 0x71
+PCI_CONFIG_ADDR = 0xCF8
+PCI_CONFIG_DATA = 0xCFC
+
+HOST_OWNED_PORTS: frozenset[int] = frozenset(
+    {SERIAL_COM1, PIT_CHANNEL0, KBD_CONTROLLER, RTC_INDEX, RTC_DATA,
+     PCI_CONFIG_ADDR, PCI_CONFIG_DATA}
+)
+
+
+class IoPortError(Exception):
+    """Raised on architecturally invalid port accesses."""
+
+
+@dataclass
+class PortAccess:
+    port: int
+    value: int
+    is_write: bool
+    core_id: int
+
+
+class IoPortSpace:
+    """The machine-wide 64 KiB port space."""
+
+    def __init__(self) -> None:
+        self._latched: dict[int, int] = {}
+        self._handlers: dict[int, Callable[[int, bool, int], int]] = {}
+        self.access_log: list[PortAccess] = []
+
+    def register_device(
+        self, port: int, handler: Callable[[int, bool, int], int]
+    ) -> None:
+        """Attach a device handler: ``handler(value, is_write, core) -> value``."""
+        self._check_port(port)
+        self._handlers[port] = handler
+
+    @staticmethod
+    def _check_port(port: int) -> None:
+        if not 0 <= port < PORT_SPACE_SIZE:
+            raise IoPortError(f"port {port:#x} outside port space")
+
+    def read(self, port: int, core_id: int = 0) -> int:
+        """IN instruction."""
+        self._check_port(port)
+        handler = self._handlers.get(port)
+        if handler is not None:
+            value = handler(0, False, core_id)
+        else:
+            value = self._latched.get(port, 0xFF)  # floating bus reads high
+        self.access_log.append(PortAccess(port, value, False, core_id))
+        return value
+
+    def write(self, port: int, value: int, core_id: int = 0) -> None:
+        """OUT instruction."""
+        self._check_port(port)
+        if not 0 <= value <= 0xFFFF_FFFF:
+            raise IoPortError(f"port value {value:#x} too wide")
+        handler = self._handlers.get(port)
+        if handler is not None:
+            handler(value, True, core_id)
+        else:
+            self._latched[port] = value
+        self.access_log.append(PortAccess(port, value, True, core_id))
+
+    def peek(self, port: int) -> int:
+        return self._latched.get(port, 0xFF)
+
+    def reset(self) -> None:
+        self._latched.clear()
+        self.access_log.clear()

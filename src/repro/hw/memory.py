@@ -1,0 +1,344 @@
+"""Physical memory with page-granular ownership.
+
+The machine's DRAM is modelled two ways at once:
+
+* **Ownership** is tracked exactly, via an interval map from physical
+  address ranges to an owner label (the host OS, an enclave id, or the
+  free pool).  Every protection decision Covirt makes about memory reduces
+  to a question against this map, so it is fully functional.
+* **Contents** are backed lazily: a 4 KiB numpy page is materialised only
+  when something actually reads or writes it.  A 64 GiB machine therefore
+  costs nothing until touched.
+
+Addresses and sizes are plain integers in bytes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+import numpy as np
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB
+PAGE_SIZE_2M = 1 << 21
+PAGE_SIZE_1G = 1 << 30
+
+#: Owner label for unassigned memory.
+FREE = "free"
+
+
+def page_align_down(addr: int) -> int:
+    """Round ``addr`` down to a 4 KiB boundary."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a 4 KiB boundary."""
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def is_page_aligned(addr: int) -> bool:
+    return addr & (PAGE_SIZE - 1) == 0
+
+
+class OwnershipError(Exception):
+    """An operation violated the physical-memory ownership discipline."""
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A page-aligned, contiguous range of physical memory.
+
+    Regions are the unit of resource assignment in the co-kernel stack:
+    Pisces hands whole regions to enclaves, XEMEM shares sub-ranges of
+    them, and Covirt maps them into EPTs.
+    """
+
+    start: int
+    size: int
+    zone: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive, got {self.size}")
+        if not is_page_aligned(self.start) or not is_page_aligned(self.size):
+            raise ValueError(
+                f"region [{self.start:#x}, +{self.size:#x}) is not page aligned"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.start + self.size
+
+    @property
+    def num_pages(self) -> int:
+        return self.size >> PAGE_SHIFT
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def contains_range(self, start: int, size: int) -> bool:
+        return self.start <= start and start + size <= self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def page_numbers(self) -> range:
+        """Physical frame numbers covered by the region."""
+        return range(self.start >> PAGE_SHIFT, self.end >> PAGE_SHIFT)
+
+    def split(self, offset: int) -> tuple["MemoryRegion", "MemoryRegion"]:
+        """Split into two regions at ``offset`` bytes from the start."""
+        if not 0 < offset < self.size or not is_page_aligned(offset):
+            raise ValueError(f"bad split offset {offset:#x}")
+        return (
+            MemoryRegion(self.start, offset, self.zone),
+            MemoryRegion(self.start + offset, self.size - offset, self.zone),
+        )
+
+    def __repr__(self) -> str:
+        return f"MemoryRegion({self.start:#x}..{self.end:#x}, zone={self.zone})"
+
+
+class IntervalMap:
+    """Sorted map from half-open integer intervals to values.
+
+    Maintains the invariants that intervals never overlap, are sorted,
+    and adjacent intervals with equal values are coalesced.  This is the
+    data structure behind both physical-memory ownership and (via the
+    EPT) Covirt's view of an enclave's mappable address space.
+    """
+
+    def __init__(self, start: int, end: int, initial: Hashable) -> None:
+        if end <= start:
+            raise ValueError("empty interval map")
+        self._starts: list[int] = [start]
+        self._ends: list[int] = [end]
+        self._values: list[Hashable] = [initial]
+        self.start = start
+        self.end = end
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def get(self, point: int) -> Hashable:
+        """Value at ``point``."""
+        if not self.start <= point < self.end:
+            raise KeyError(f"point {point:#x} outside map range")
+        idx = bisect.bisect_right(self._starts, point) - 1
+        return self._values[idx]
+
+    def set(self, start: int, end: int, value: Hashable) -> None:
+        """Assign ``value`` over [start, end), splitting as needed."""
+        if end <= start:
+            raise ValueError("empty assignment")
+        if start < self.start or end > self.end:
+            raise KeyError(
+                f"assignment [{start:#x},{end:#x}) outside map "
+                f"[{self.start:#x},{self.end:#x})"
+            )
+        # Clip surviving fragments of existing intervals, insert the new
+        # span, then coalesce equal-valued neighbours.
+        pieces: list[tuple[int, int, Hashable]] = []
+        for s, e, v in zip(self._starts, self._ends, self._values):
+            if e <= start or s >= end:
+                pieces.append((s, e, v))
+                continue
+            if s < start:
+                pieces.append((s, start, v))
+            if e > end:
+                pieces.append((end, e, v))
+        pieces.append((start, end, value))
+        pieces.sort(key=lambda p: p[0])
+        out_s: list[int] = []
+        out_e: list[int] = []
+        out_v: list[Hashable] = []
+        for s, e, v in pieces:
+            if out_v and out_v[-1] == v and out_e[-1] == s:
+                out_e[-1] = e
+            else:
+                out_s.append(s)
+                out_e.append(e)
+                out_v.append(v)
+        self._starts, self._ends, self._values = out_s, out_e, out_v
+
+    def intervals(self) -> Iterator[tuple[int, int, Hashable]]:
+        """Yield (start, end, value) for every interval, in order."""
+        yield from zip(self._starts, self._ends, self._values)
+
+    def intervals_in(self, start: int, end: int) -> Iterator[tuple[int, int, Hashable]]:
+        """Yield intervals clipped to [start, end)."""
+        for s, e, v in self.intervals():
+            if e <= start or s >= end:
+                continue
+            yield max(s, start), min(e, end), v
+
+    def uniform_value(self, start: int, end: int) -> Hashable | None:
+        """If [start, end) maps to a single value, return it, else None."""
+        pieces = list(self.intervals_in(start, end))
+        if len(pieces) == 1:
+            return pieces[0][2]
+        first = pieces[0][2]
+        return first if all(v == first for _, _, v in pieces) else None
+
+    def find(self, value: Hashable) -> list[tuple[int, int]]:
+        """All intervals currently holding ``value``."""
+        return [(s, e) for s, e, v in self.intervals() if v == value]
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are broken."""
+        assert self._starts[0] == self.start
+        assert self._ends[-1] == self.end
+        for i in range(len(self._starts)):
+            assert self._starts[i] < self._ends[i], "empty interval"
+            if i:
+                assert self._ends[i - 1] == self._starts[i], "gap/overlap"
+                assert self._values[i - 1] != self._values[i], "uncoalesced"
+
+
+class PhysicalMemory:
+    """The machine's DRAM: exact ownership plus lazily backed contents."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or not is_page_aligned(size):
+            raise ValueError("memory size must be a positive page multiple")
+        self.size = size
+        self._owners = IntervalMap(0, size, FREE)
+        self._pages: dict[int, np.ndarray] = {}
+        #: Bytes currently materialised (for tests / introspection).
+        self.resident_pages = 0
+
+    # -- ownership ---------------------------------------------------------
+
+    def owner_of(self, addr: int) -> Hashable:
+        """Owner label of the page containing ``addr``."""
+        return self._owners.get(addr)
+
+    def region_owner(self, region: MemoryRegion) -> Hashable | None:
+        """Single owner of the whole region, or None if mixed."""
+        return self._owners.uniform_value(region.start, region.end)
+
+    def set_owner(self, region: MemoryRegion, owner: Hashable) -> None:
+        """Assign every page of ``region`` to ``owner`` unconditionally."""
+        self._owners.set(region.start, region.end, owner)
+
+    def transfer(
+        self, region: MemoryRegion, expected: Hashable, new_owner: Hashable
+    ) -> None:
+        """Move ``region`` from ``expected`` to ``new_owner``.
+
+        Raises :class:`OwnershipError` if any page of the region is not
+        currently owned by ``expected`` — this is the check that makes
+        double-grants and double-frees structurally impossible.
+        """
+        current = self._owners.uniform_value(region.start, region.end)
+        if current != expected:
+            raise OwnershipError(
+                f"region {region} owned by {current!r}, expected {expected!r}"
+            )
+        self._owners.set(region.start, region.end, new_owner)
+
+    def owned_by(self, owner: Hashable) -> list[MemoryRegion]:
+        """All regions currently owned by ``owner``."""
+        return [
+            MemoryRegion(s, e - s) for s, e in self._owners.find(owner)
+        ]
+
+    def total_owned(self, owner: Hashable) -> int:
+        """Bytes owned by ``owner``."""
+        return sum(e - s for s, e in self._owners.find(owner))
+
+    def allocate(
+        self,
+        size: int,
+        owner: Hashable,
+        *,
+        within: tuple[int, int] | None = None,
+        alignment: int = PAGE_SIZE,
+    ) -> MemoryRegion:
+        """Carve a free region of ``size`` bytes and assign it to ``owner``.
+
+        ``within`` restricts the search to an address window (used for
+        NUMA-zone-local allocation); ``alignment`` must be a power of two
+        page multiple.
+        """
+        size = page_align_up(size)
+        if alignment < PAGE_SIZE or alignment & (alignment - 1):
+            raise ValueError("alignment must be a power-of-two page multiple")
+        lo, hi = within if within is not None else (0, self.size)
+        for s, e in self._owners.find(FREE):
+            s = max(s, lo)
+            e = min(e, hi)
+            aligned = (s + alignment - 1) & ~(alignment - 1)
+            if aligned + size <= e:
+                region = MemoryRegion(aligned, size)
+                self._owners.set(aligned, aligned + size, owner)
+                return region
+        raise OwnershipError(
+            f"no free region of {size:#x} bytes in window [{lo:#x},{hi:#x})"
+        )
+
+    def release(self, region: MemoryRegion, expected: Hashable) -> None:
+        """Return a region to the free pool, verifying current ownership."""
+        self.transfer(region, expected, FREE)
+        self._drop_backing(region)
+
+    # -- contents ----------------------------------------------------------
+
+    def _page(self, frame: int, create: bool) -> np.ndarray | None:
+        page = self._pages.get(frame)
+        if page is None and create:
+            page = np.zeros(PAGE_SIZE, dtype=np.uint8)
+            self._pages[frame] = page
+            self.resident_pages += 1
+        return page
+
+    def _drop_backing(self, region: MemoryRegion) -> None:
+        for frame in region.page_numbers():
+            if self._pages.pop(frame, None) is not None:
+                self.resident_pages -= 1
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read raw bytes; unbacked pages read as zero."""
+        if addr < 0 or addr + length > self.size:
+            raise ValueError(f"read [{addr:#x},+{length}) out of range")
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            frame = (addr + pos) >> PAGE_SHIFT
+            off = (addr + pos) & (PAGE_SIZE - 1)
+            chunk = min(length - pos, PAGE_SIZE - off)
+            page = self._page(frame, create=False)
+            if page is not None:
+                out[pos : pos + chunk] = page[off : off + chunk].tobytes()
+            pos += chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write raw bytes, materialising pages as needed."""
+        if addr < 0 or addr + len(data) > self.size:
+            raise ValueError(f"write [{addr:#x},+{len(data)}) out of range")
+        pos = 0
+        while pos < len(data):
+            frame = (addr + pos) >> PAGE_SHIFT
+            off = (addr + pos) & (PAGE_SIZE - 1)
+            chunk = min(len(data) - pos, PAGE_SIZE - off)
+            page = self._page(frame, create=True)
+            assert page is not None
+            page[off : off + chunk] = np.frombuffer(
+                data[pos : pos + chunk], dtype=np.uint8
+            )
+            pos += chunk
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, int(value).to_bytes(8, "little"))
+
+    def check_invariants(self) -> None:
+        self._owners.check_invariants()

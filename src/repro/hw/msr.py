@@ -1,0 +1,101 @@
+"""Model-specific registers.
+
+Covirt's MSR protection interposes on guest RDMSR/WRMSR via the VMX MSR
+bitmaps; the physical MSR file modelled here is what those operations
+ultimately read and write when permitted.  Only the handful of MSRs the
+co-kernel stack actually touches are given architectural defaults, but
+the file accepts any index so tests can exercise the "guest pokes a
+sensitive MSR it has no business with" failure mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MSR(enum.IntEnum):
+    """MSR indices used by the stack (values follow the SDM)."""
+
+    IA32_APIC_BASE = 0x1B
+    IA32_FEATURE_CONTROL = 0x3A
+    IA32_MISC_ENABLE = 0x1A0
+    IA32_PAT = 0x277
+    IA32_EFER = 0xC0000080
+    IA32_STAR = 0xC0000081
+    IA32_LSTAR = 0xC0000082
+    IA32_FMASK = 0xC0000084
+    IA32_FS_BASE = 0xC0000100
+    IA32_GS_BASE = 0xC0000101
+    IA32_KERNEL_GS_BASE = 0xC0000102
+    IA32_TSC_AUX = 0xC0000103
+    # Machine-check bank 0 control: the canonical "you should not be
+    # writing this from a co-kernel" register in our fault scenarios.
+    IA32_MC0_CTL = 0x400
+
+
+#: MSRs whose corruption can take down software outside the writer's
+#: enclave.  Covirt's MSR protection denies guest writes to these.
+SENSITIVE_MSRS: frozenset[int] = frozenset(
+    {
+        MSR.IA32_APIC_BASE,
+        MSR.IA32_FEATURE_CONTROL,
+        MSR.IA32_MISC_ENABLE,
+        MSR.IA32_MC0_CTL,
+    }
+)
+
+_DEFAULTS: dict[int, int] = {
+    MSR.IA32_APIC_BASE: 0xFEE0_0900,  # enabled, BSP
+    MSR.IA32_FEATURE_CONTROL: 0x5,  # locked, VMX enabled
+    MSR.IA32_EFER: 0xD01,  # LME|LMA|SCE|NXE
+    MSR.IA32_PAT: 0x0007_0406_0007_0406,
+    MSR.IA32_MISC_ENABLE: 0x1,
+}
+
+
+class MsrAccessError(Exception):
+    """Raised for architecturally invalid MSR accesses (#GP analogue)."""
+
+
+@dataclass
+class MsrAccess:
+    """One logged MSR access, for test assertions."""
+
+    index: int
+    value: int
+    is_write: bool
+
+
+class MsrFile:
+    """The MSR state of one core."""
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self._values: dict[int, int] = dict(_DEFAULTS)
+        self.access_log: list[MsrAccess] = []
+
+    def read(self, index: int) -> int:
+        """RDMSR."""
+        if index < 0 or index > 0xFFFF_FFFF:
+            raise MsrAccessError(f"MSR index {index:#x} out of range")
+        value = self._values.get(index, 0)
+        self.access_log.append(MsrAccess(index, value, is_write=False))
+        return value
+
+    def write(self, index: int, value: int) -> None:
+        """WRMSR."""
+        if index < 0 or index > 0xFFFF_FFFF:
+            raise MsrAccessError(f"MSR index {index:#x} out of range")
+        if value < 0 or value >= 1 << 64:
+            raise MsrAccessError(f"MSR value {value:#x} not a u64")
+        self._values[index] = value
+        self.access_log.append(MsrAccess(index, value, is_write=True))
+
+    def peek(self, index: int) -> int:
+        """Read without logging (for assertions)."""
+        return self._values.get(index, 0)
+
+    def reset(self) -> None:
+        self._values = dict(_DEFAULTS)
+        self.access_log.clear()

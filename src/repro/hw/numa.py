@@ -1,0 +1,131 @@
+"""NUMA topology of the simulated machine.
+
+The paper's testbed is a dual-socket Xeon with two NUMA zones; enclave
+memory is deliberately split across zones in the scaling experiments
+(Figs. 6 and 7).  Covirt's zero-abstraction design goal means the guest
+sees this topology *unfiltered* — nothing in the virtualization layer may
+hide or remap it — so the topology object is shared by host, enclaves,
+and hypervisor alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memory import PAGE_SIZE, is_page_aligned
+
+#: Conventional ACPI SLIT distances.
+LOCAL_DISTANCE = 10
+REMOTE_DISTANCE = 21
+
+
+@dataclass(frozen=True)
+class NumaZone:
+    """One NUMA domain: a memory window plus the cores attached to it."""
+
+    zone_id: int
+    mem_start: int
+    mem_size: int
+    core_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.mem_size <= 0 or not is_page_aligned(self.mem_size):
+            raise ValueError("zone memory must be a positive page multiple")
+        if not is_page_aligned(self.mem_start):
+            raise ValueError("zone memory must be page aligned")
+
+    @property
+    def mem_end(self) -> int:
+        return self.mem_start + self.mem_size
+
+    def contains_addr(self, addr: int) -> bool:
+        return self.mem_start <= addr < self.mem_end
+
+    @property
+    def window(self) -> tuple[int, int]:
+        """Address window usable as ``PhysicalMemory.allocate(within=...)``."""
+        return (self.mem_start, self.mem_end)
+
+
+class NumaTopology:
+    """Zones, core placement, and SLIT-style distances."""
+
+    def __init__(self, zones: list[NumaZone]) -> None:
+        if not zones:
+            raise ValueError("at least one NUMA zone required")
+        ids = [z.zone_id for z in zones]
+        if ids != list(range(len(zones))):
+            raise ValueError("zone ids must be dense and ordered")
+        cores_seen: set[int] = set()
+        for zone in zones:
+            overlap = cores_seen & set(zone.core_ids)
+            if overlap:
+                raise ValueError(f"cores {overlap} appear in multiple zones")
+            cores_seen |= set(zone.core_ids)
+        self.zones = list(zones)
+        self._core_to_zone = {
+            core: zone.zone_id for zone in zones for core in zone.core_ids
+        }
+
+    @classmethod
+    def symmetric(
+        cls, num_zones: int, cores_per_zone: int, mem_per_zone: int
+    ) -> "NumaTopology":
+        """Build a homogeneous topology (the common dual-socket case)."""
+        zones = []
+        for z in range(num_zones):
+            zones.append(
+                NumaZone(
+                    zone_id=z,
+                    mem_start=z * mem_per_zone,
+                    mem_size=mem_per_zone,
+                    core_ids=tuple(
+                        range(z * cores_per_zone, (z + 1) * cores_per_zone)
+                    ),
+                )
+            )
+        return cls(zones)
+
+    @property
+    def num_zones(self) -> int:
+        return len(self.zones)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._core_to_zone)
+
+    @property
+    def total_memory(self) -> int:
+        return sum(z.mem_size for z in self.zones)
+
+    @property
+    def all_core_ids(self) -> list[int]:
+        return sorted(self._core_to_zone)
+
+    def zone_of_core(self, core_id: int) -> int:
+        try:
+            return self._core_to_zone[core_id]
+        except KeyError:
+            raise KeyError(f"core {core_id} not in topology") from None
+
+    def zone_of_addr(self, addr: int) -> int:
+        for zone in self.zones:
+            if zone.contains_addr(addr):
+                return zone.zone_id
+        raise KeyError(f"address {addr:#x} not in any zone")
+
+    def distance(self, zone_a: int, zone_b: int) -> int:
+        """SLIT distance between two zones."""
+        if not (0 <= zone_a < self.num_zones and 0 <= zone_b < self.num_zones):
+            raise KeyError("unknown zone")
+        return LOCAL_DISTANCE if zone_a == zone_b else REMOTE_DISTANCE
+
+    def is_local(self, core_id: int, addr: int) -> bool:
+        """True when ``addr`` is in the zone that owns ``core_id``."""
+        return self.zone_of_core(core_id) == self.zone_of_addr(addr)
+
+    def __repr__(self) -> str:
+        return (
+            f"NumaTopology({self.num_zones} zones, {self.num_cores} cores, "
+            f"{self.total_memory >> 30} GiB)"
+        )

@@ -1,0 +1,26 @@
+"""IHK/McKernel-style co-kernel framework (simulated).
+
+The paper argues Covirt "could be adapted to suit the full range of
+co-kernel approaches" (Section III-A), naming IHK/McKernel explicitly.
+This package is the adaptation: a second, architecturally different
+co-kernel framework —
+
+* **IHK** (Interface for Heterogeneous Kernels) reserves CPUs and
+  memory from Linux and boots *OS instances* indexed like devices
+  (``/dev/mcos0``), rather than Pisces' named enclaves;
+* **McKernel** is its lightweight kernel, whose signature design is the
+  **proxy process**: every offloaded system call executes inside a
+  host-side Linux process that *replicates the McKernel process's
+  address space*, so the host kernel can service it natively.
+
+Covirt hooks it through the exact same seams as Pisces
+(``CovirtController.interpose_on``): the boot protocol, the control-path
+hooks, and the ioctl ABI.  The address-space-replication machinery also
+adds a new instance of the paper's favourite bug class: a replica that
+falls out of sync with the McKernel side.
+"""
+
+from repro.ihk.module import IhkModule, IhkError
+from repro.ihk.mckernel import McKernel, ProxyProcess
+
+__all__ = ["IhkModule", "IhkError", "McKernel", "ProxyProcess"]

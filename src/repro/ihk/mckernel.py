@@ -1,0 +1,284 @@
+"""McKernel: IHK's lightweight kernel, with proxy-process delegation.
+
+McKernel offloads nearly every system call to Linux through a *proxy
+process*: a host-side twin of each McKernel process whose address space
+mirrors (a replica of) the LWK process's mappings, so the host kernel
+can dereference syscall arguments directly.  The replica must be kept
+in sync as the LWK process maps and unmaps memory — one more piece of
+cross-OS/R shared state that can (and in the paper's experience, does)
+go stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.hw.interrupts import Interrupt, InterruptKind
+from repro.hw.machine import Machine
+from repro.hw.memory import MemoryRegion, PAGE_SIZE, page_align_up
+from repro.kitten.memmap import GuestMemoryMap
+from repro.kitten.pagetable import GuestPageTable
+from repro.kitten.syscalls import (
+    DELEGATED_SYSCALLS,
+    ENOMEM,
+    ENOSYS,
+    Syscall,
+    SyscallError,
+)
+from repro.pisces.bootparams import PiscesBootParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hobbes.forwarding import SyscallForwarder
+    from repro.pisces.enclave import Enclave
+
+#: McKernel's image + early allocations.
+KERNEL_RESERVED_BYTES = 1 << 20
+
+#: Cost of waking the proxy, switching it in on the host, and returning
+#: the result — cheaper than a Hobbes channel round trip (the replica
+#: lets the host dereference arguments directly) but far costlier than
+#: mOS's in-kernel trampoline.
+PROXY_DELEGATION_CYCLES = 3_400
+
+
+@dataclass
+class ProxyProcess:
+    """The host-side twin of one McKernel process."""
+
+    pid: int
+    mck_pid: int
+    #: Replicated address-space view: (start, size) ranges the proxy
+    #: believes the LWK process has mapped.
+    replica: list[tuple[int, int]] = field(default_factory=list)
+    delegations: int = 0
+
+    def covers(self, addr: int, length: int) -> bool:
+        return any(
+            start <= addr and addr + length <= start + size
+            for start, size in self.replica
+        )
+
+    def replicate(self, start: int, size: int) -> None:
+        self.replica.append((start, size))
+
+    def unreplicate(self, start: int, size: int) -> None:
+        self.replica.remove((start, size))
+
+
+@dataclass
+class MckProcess:
+    """One McKernel process."""
+
+    pid: int
+    name: str
+    ranges: list[tuple[int, int]] = field(default_factory=list)
+    proxy: ProxyProcess | None = None
+
+    def owns(self, addr: int, length: int = 1) -> bool:
+        return any(
+            start <= addr and addr + length <= start + size
+            for start, size in self.ranges
+        )
+
+
+class McKernel:
+    """The LWK half of IHK/McKernel."""
+
+    def __init__(
+        self, machine: Machine, enclave: "Enclave", params: PiscesBootParams
+    ) -> None:
+        self.machine = machine
+        self.enclave = enclave
+        self.params = params
+        self.memmap = GuestMemoryMap()
+        self.pgtable = GuestPageTable()
+        for region in params.regions:
+            self.memmap.add_region(region)
+            self.pgtable.map(region.start, region.start, region.size)
+        self.online_cores: list[int] = [params.core_ids[0]]
+        self.console: list[str] = []
+        self.running = True
+        self.buggy_cleanup = False
+        self.hobbes_client: Any = None  # not used by IHK, kept for surface
+        #: Host-side services, wired by the IHK module.
+        self.forwarder: "SyscallForwarder | None" = None
+        self.processes: dict[int, MckProcess] = {}
+        self._next_pid = 1
+        self._next_proxy_pid = 20_000
+        self._alloc = params.regions[0].start + KERNEL_RESERVED_BYTES
+        self.irq_log: dict[int, list[Interrupt]] = {c: [] for c in params.core_ids}
+        self._irq_handlers: dict[int, Callable[[int, Interrupt], None]] = {}
+        self._configure_core(params.core_ids[0])
+
+    # -- guest-kernel surface (shared with Kitten/Nautilus) ----------------
+
+    @classmethod
+    def boot(cls, machine: Machine, enclave: "Enclave") -> "McKernel":
+        assert enclave.boot_params is not None
+        params = PiscesBootParams.read_from(
+            machine.memory, enclave.boot_params.address
+        )
+        params.address = enclave.boot_params.address
+        kernel = cls(machine, enclave, params)
+        kernel.console.append(
+            f"McKernel booting on IHK: os instance {params.enclave_id}, "
+            f"{len(params.core_ids)} cpus"
+        )
+        return kernel
+
+    def _configure_core(self, core_id: int) -> None:
+        from repro.hw.cpu import CpuMode
+
+        core = self.machine.core(core_id)
+        assert core.apic is not None
+        # McKernel also minimises timer noise (1 Hz housekeeping).
+        core.apic.configure_timer(1_700_000_000)
+        if core.mode is not CpuMode.GUEST:
+            core.apic.delivery_hook = lambda irq, c=core_id: self.inject_interrupt(
+                c, irq
+            )
+
+    def join_secondary_core(self, core_id: int) -> None:
+        if core_id in self.online_cores:
+            raise ValueError(f"cpu {core_id} already online")
+        self.online_cores.append(core_id)
+        self.irq_log.setdefault(core_id, [])
+        self._configure_core(core_id)
+
+    def shutdown(self) -> None:
+        self.running = False
+
+    def register_irq_handler(
+        self, vector: int, handler: Callable[[int, Interrupt], None], desc: str = ""
+    ) -> None:
+        self._irq_handlers[vector] = handler
+
+    def inject_interrupt(self, core_id: int, interrupt: Interrupt) -> None:
+        if not self.running:
+            return
+        self.irq_log.setdefault(core_id, []).append(interrupt)
+        handler = self._irq_handlers.get(interrupt.vector)
+        if handler is not None:
+            handler(core_id, interrupt)
+        apic = self.machine.core(core_id).apic
+        if apic is not None and interrupt.kind is not InterruptKind.NMI:
+            apic.ack(interrupt.vector)
+
+    def memory_hotplug_add(self, region: MemoryRegion) -> None:
+        self.memmap.add_region(region)
+        self.pgtable.map(region.start, region.start, region.size)
+        self.params.regions.append(region)
+
+    def memory_hotplug_remove(self, region: MemoryRegion) -> bool:
+        if region in self.params.regions:
+            self.params.regions.remove(region)
+        if not self.buggy_cleanup:
+            self.memmap.remove_region(region)
+            self.pgtable.unmap(region.start, region.size)
+        return True
+
+    def map_shared(self, region: MemoryRegion) -> None:
+        self.memmap.add_region(region)
+        self.pgtable.map(region.start, region.start, region.size)
+
+    def unmap_shared(self, region: MemoryRegion) -> None:
+        self.memmap.remove_region(region)
+        self.pgtable.unmap(region.start, region.size)
+
+    def touch(
+        self, core_id: int, addr: int, length: int = 8, *, write: bool = False
+    ) -> bytes | None:
+        if not self.pgtable.covers(addr, length):
+            raise SyscallError(ENOMEM, f"mckernel: {addr:#x} unmapped")
+        assert self.enclave.port is not None
+        if write:
+            self.enclave.port.write(core_id, addr, b"\xcc" * length)
+            return None
+        return self.enclave.port.read(core_id, addr, length)
+
+    # -- processes & the proxy mechanism --------------------------------
+
+    def spawn_process(self, name: str, mem_bytes: int = PAGE_SIZE) -> MckProcess:
+        """Create an LWK process *and its host-side proxy twin* — the
+        IHK/McKernel signature (Section III-A: "a 'proxy process' on the
+        host OS that requires address space replication")."""
+        process = MckProcess(self._next_pid, name)
+        self._next_pid += 1
+        proxy = ProxyProcess(self._next_proxy_pid, process.pid)
+        self._next_proxy_pid += 1
+        process.proxy = proxy
+        self.processes[process.pid] = process
+        if mem_bytes:
+            self.mmap_process(process, mem_bytes)
+        return process
+
+    def mmap_process(self, process: MckProcess, size: int) -> int:
+        """Map memory into an LWK process and replicate into its proxy."""
+        size = page_align_up(size)
+        region = self.params.regions[0]
+        if self._alloc + size > region.end:
+            raise SyscallError(ENOMEM, "mckernel: out of memory")
+        start = self._alloc
+        self._alloc += size
+        process.ranges.append((start, size))
+        assert process.proxy is not None
+        process.proxy.replicate(start, size)  # keep the twin in sync
+        return start
+
+    def munmap_process(
+        self, process: MckProcess, start: int, size: int, *, buggy: bool = False
+    ) -> None:
+        """Unmap; with ``buggy`` the proxy replica is *not* updated —
+        the replication-desync bug class."""
+        process.ranges.remove((start, size))
+        if not buggy:
+            assert process.proxy is not None
+            process.proxy.unreplicate(start, size)
+
+    def syscall(self, process: MckProcess, nr: int, *args: Any) -> Any:
+        """McKernel handles almost nothing locally; everything else goes
+        to the proxy."""
+        try:
+            syscall = Syscall(nr)
+        except ValueError:
+            raise SyscallError(ENOSYS, f"unknown syscall {nr}") from None
+        if syscall is Syscall.GETPID:
+            return process.pid
+        if syscall is Syscall.UNAME:
+            return "McKernel on IHK (repro)"
+        if syscall in DELEGATED_SYSCALLS or syscall in (
+            Syscall.WRITE, Syscall.STAT
+        ):
+            return self._delegate(process, syscall, args)
+        raise SyscallError(ENOSYS, f"{syscall.name} unsupported on McKernel")
+
+    def _delegate(self, process: MckProcess, syscall: Syscall, args: tuple) -> Any:
+        """Ship the syscall to the proxy process.
+
+        Argument buffers must be resident in the proxy's replicated
+        address space — a desynced replica fails here, exactly how real
+        IHK/McKernel delegation breaks.
+        """
+        if self.forwarder is None:
+            raise SyscallError(ENOSYS, "no host proxy service")
+        proxy = process.proxy
+        assert proxy is not None
+        self.machine.core(self.online_cores[0]).advance(PROXY_DELEGATION_CYCLES)
+        # Pointer-carrying syscalls validate their buffers against the
+        # replica (modelled: WRITE's buffer address argument).
+        if syscall is Syscall.WRITE and isinstance(args[1], int):
+            addr, length = args[1], args[2]
+            if not proxy.covers(addr, length):
+                raise SyscallError(
+                    14, f"proxy replica desync: {addr:#x} not replicated"
+                )  # EFAULT
+            assert self.enclave.port is not None
+            data = self.enclave.port.read(
+                self.online_cores[0], addr, length
+            )
+            proxy.delegations += 1
+            self.console.append(data.decode(errors="replace"))
+            return length
+        proxy.delegations += 1
+        return self.forwarder.execute(syscall, args)

@@ -1,0 +1,30 @@
+"""Kitten Lightweight Kernel (simulated).
+
+Kitten is the co-kernel OS/R that runs inside Pisces enclaves: a
+POSIX-like LWK with contiguous physical memory, identity mappings, a
+run-to-completion scheduler, and minimal timer noise.  It is also —
+deliberately — the software whose bugs Covirt contains: its memory map
+is only a *belief* about what it owns, and the fault-injection tests
+desynchronize that belief from reality exactly as the paper's war
+stories describe.
+"""
+
+from repro.kitten.memmap import GuestMemoryMap, MemoryMapError
+from repro.kitten.task import Task, TaskState
+from repro.kitten.sched import Scheduler
+from repro.kitten.syscalls import Syscall, SyscallError, LOCAL_SYSCALLS, DELEGATED_SYSCALLS
+from repro.kitten.kernel import KittenKernel, GuestPageFault
+
+__all__ = [
+    "GuestMemoryMap",
+    "MemoryMapError",
+    "Task",
+    "TaskState",
+    "Scheduler",
+    "Syscall",
+    "SyscallError",
+    "LOCAL_SYSCALLS",
+    "DELEGATED_SYSCALLS",
+    "KittenKernel",
+    "GuestPageFault",
+]

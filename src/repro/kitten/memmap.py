@@ -1,0 +1,111 @@
+"""The co-kernel's internal memory map.
+
+This is the enclave OS/R's *view* of which physical ranges it may use:
+Kitten configures its (identity) mappings from this set, and a correct
+kernel never touches an address outside it.  The paper's central
+observation is that nothing *enforces* that view — it must be kept in
+sync with the system-wide assignment by the co-kernel framework, and
+when synchronization breaks (a missed cleanup, a version-skewed
+interface), the kernel faithfully acts on stale beliefs.
+
+The map is an ordered set of disjoint, page-aligned intervals.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import MemoryRegion, is_page_aligned
+
+
+class MemoryMapError(Exception):
+    """Structural misuse of the memory map."""
+
+
+class GuestMemoryMap:
+    """Disjoint interval set over (guest-)physical addresses."""
+
+    def __init__(self) -> None:
+        self._intervals: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e - s for s, e in self._intervals)
+
+    def intervals(self) -> list[tuple[int, int]]:
+        return list(self._intervals)
+
+    def _validate(self, start: int, size: int) -> int:
+        if size <= 0 or not is_page_aligned(start) or not is_page_aligned(size):
+            raise MemoryMapError(f"bad range [{start:#x},+{size:#x})")
+        return start + size
+
+    def add(self, start: int, size: int) -> None:
+        """Insert a range; overlap with an existing range is a bug."""
+        end = self._validate(start, size)
+        for s, e in self._intervals:
+            if start < e and s < end:
+                raise MemoryMapError(
+                    f"range [{start:#x},{end:#x}) overlaps [{s:#x},{e:#x})"
+                )
+        self._intervals.append((start, end))
+        self._intervals.sort()
+        self._merge()
+
+    def _merge(self) -> None:
+        merged: list[tuple[int, int]] = []
+        for s, e in self._intervals:
+            if merged and merged[-1][1] == s:
+                merged[-1] = (merged[-1][0], e)
+            else:
+                merged.append((s, e))
+        self._intervals = merged
+
+    def remove(self, start: int, size: int) -> None:
+        """Remove a range; it must be entirely present."""
+        end = self._validate(start, size)
+        out: list[tuple[int, int]] = []
+        covered = 0
+        for s, e in self._intervals:
+            if e <= start or s >= end:
+                out.append((s, e))
+                continue
+            covered += min(e, end) - max(s, start)
+            if s < start:
+                out.append((s, start))
+            if e > end:
+                out.append((end, e))
+        if covered != size:
+            raise MemoryMapError(
+                f"remove [{start:#x},{end:#x}) not fully mapped"
+            )
+        self._intervals = out
+
+    def add_region(self, region: MemoryRegion) -> None:
+        self.add(region.start, region.size)
+
+    def remove_region(self, region: MemoryRegion) -> None:
+        self.remove(region.start, region.size)
+
+    def contains(self, addr: int, length: int = 1) -> bool:
+        """Is [addr, +length) entirely believed-usable?"""
+        remaining_start = addr
+        end = addr + length
+        for s, e in self._intervals:
+            if s <= remaining_start < e:
+                if end <= e:
+                    return True
+                remaining_start = e  # continue into the next interval
+        return False
+
+    def find_free_within(self, owned: "GuestMemoryMap") -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def check_invariants(self) -> None:
+        for (s1, e1), (s2, _e2) in zip(self._intervals, self._intervals[1:]):
+            assert s1 < e1, "empty interval"
+            assert e1 < s2, "unmerged or overlapping intervals"
+        if self._intervals:
+            s, e = self._intervals[-1]
+            assert s < e

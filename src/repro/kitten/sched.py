@@ -1,0 +1,75 @@
+"""Kitten's scheduler.
+
+LWK scheduling policy is deliberately trivial — one run queue per core,
+run-to-completion, no preemption, tasks pinned to the core they were
+spawned on.  That simplicity is what buys the low-noise profile the
+Selfish Detour experiment measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.kitten.task import Task, TaskState
+
+
+class SchedulerError(Exception):
+    pass
+
+
+class Scheduler:
+    """Per-core run queues with run-to-completion semantics."""
+
+    def __init__(self, core_ids: list[int]) -> None:
+        if not core_ids:
+            raise SchedulerError("scheduler needs at least one core")
+        self._queues: dict[int, deque[Task]] = {c: deque() for c in core_ids}
+        self._current: dict[int, Task | None] = {c: None for c in core_ids}
+
+    @property
+    def core_ids(self) -> list[int]:
+        return sorted(self._queues)
+
+    def add_core(self, core_id: int) -> None:
+        if core_id in self._queues:
+            raise SchedulerError(f"core {core_id} already scheduled")
+        self._queues[core_id] = deque()
+        self._current[core_id] = None
+
+    def enqueue(self, task: Task, core_id: int) -> None:
+        if core_id not in self._queues:
+            raise SchedulerError(f"core {core_id} not managed by this scheduler")
+        task.bound_core = core_id
+        self._queues[core_id].append(task)
+
+    def least_loaded_core(self) -> int:
+        """Placement policy for unpinned spawns."""
+        return min(
+            self._queues,
+            key=lambda c: len(self._queues[c]) + (self._current[c] is not None),
+        )
+
+    def current(self, core_id: int) -> Task | None:
+        return self._current[core_id]
+
+    def pick_next(self, core_id: int) -> Task | None:
+        """Dispatch the next READY task on ``core_id``."""
+        running = self._current[core_id]
+        if running is not None and running.state is TaskState.RUNNING:
+            return running  # run to completion
+        queue = self._queues[core_id]
+        while queue:
+            task = queue.popleft()
+            if task.state is TaskState.READY:
+                task.state = TaskState.RUNNING
+                self._current[core_id] = task
+                return task
+        self._current[core_id] = None
+        return None
+
+    def task_done(self, core_id: int) -> None:
+        """The running task exited; the core goes back to the queue."""
+        self._current[core_id] = None
+
+    def queued(self, core_id: int) -> int:
+        return len(self._queues[core_id])

@@ -1,0 +1,77 @@
+"""Kitten's system-call surface.
+
+A small set of performance-critical syscalls is handled locally in the
+LWK; heavyweight functionality (filesystem, sockets, ...) is *delegated*
+to the host Linux OS through Hobbes' system-call forwarding service.
+The split below mirrors what the Hobbes stack forwards in practice.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Syscall(enum.IntEnum):
+    """Syscall numbers (Linux-compatible where it matters)."""
+
+    READ = 0
+    WRITE = 1
+    OPEN = 2
+    CLOSE = 3
+    STAT = 4
+    MMAP = 9
+    BRK = 12
+    GETPID = 39
+    SOCKET = 41
+    EXIT = 60
+    UNAME = 63
+    GETTID = 186
+    # XEMEM control calls (XPMEM-compatible extension range).
+    XEMEM_MAKE = 800
+    XEMEM_GET = 801
+    XEMEM_ATTACH = 802
+    XEMEM_DETACH = 803
+
+
+#: Handled entirely inside the LWK — these are the fast paths that make
+#: co-kernels attractive.
+LOCAL_SYSCALLS: frozenset[Syscall] = frozenset(
+    {
+        Syscall.MMAP,
+        Syscall.BRK,
+        Syscall.GETPID,
+        Syscall.GETTID,
+        Syscall.EXIT,
+        Syscall.UNAME,
+        Syscall.WRITE,  # console fast path
+        Syscall.XEMEM_MAKE,
+        Syscall.XEMEM_GET,
+        Syscall.XEMEM_ATTACH,
+        Syscall.XEMEM_DETACH,
+    }
+)
+
+#: Offloaded to the general-purpose OS via Hobbes forwarding.
+DELEGATED_SYSCALLS: frozenset[Syscall] = frozenset(
+    {
+        Syscall.READ,
+        Syscall.OPEN,
+        Syscall.CLOSE,
+        Syscall.STAT,
+        Syscall.SOCKET,
+    }
+)
+
+
+class SyscallError(Exception):
+    """Syscall-level failure, carrying a errno-style code."""
+
+    def __init__(self, errno: int, message: str) -> None:
+        super().__init__(message)
+        self.errno = errno
+
+
+ENOSYS = 38
+EINVAL = 22
+ENOMEM = 12
+EFAULT = 14

@@ -1,0 +1,67 @@
+"""Kitten tasks (processes).
+
+Kitten gives each task contiguous physical memory and identity
+mappings; tasks are the unit that XEMEM segments attach to and that
+Hobbes composes across enclaves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+    KILLED = "killed"
+
+
+@dataclass
+class MemorySlice:
+    """A contiguous allocation inside the enclave's physical memory."""
+
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+@dataclass
+class Task:
+    """One LWK process."""
+
+    tid: int
+    name: str
+    enclave_id: int
+    state: TaskState = TaskState.READY
+    #: Physical memory slices allocated to this task (contiguous, identity
+    #: mapped — Kitten's simple resource management policy).
+    slices: list[MemorySlice] = field(default_factory=list)
+    #: XEMEM segment ids this task has attached, mapped to local addresses.
+    attachments: dict[int, int] = field(default_factory=dict)
+    #: Core the scheduler bound the task to (LWK tasks don't migrate).
+    bound_core: int | None = None
+    exit_code: int | None = None
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(s.size for s in self.slices)
+
+    def owns_addr(self, addr: int, length: int = 1) -> bool:
+        end = addr + length
+        for s in self.slices:
+            if s.start <= addr and end <= s.end:
+                return True
+        return False
+
+    def exit(self, code: int = 0) -> None:
+        self.state = TaskState.EXITED
+        self.exit_code = code
+
+    def kill(self) -> None:
+        self.state = TaskState.KILLED

@@ -1,0 +1,5 @@
+"""Simulated general-purpose host OS (Linux in the paper's stack)."""
+
+from repro.linuxhost.host import LinuxHost, HostPanic, LINUX_OWNER, OFFLINE_OWNER
+
+__all__ = ["LinuxHost", "HostPanic", "LINUX_OWNER", "OFFLINE_OWNER"]

@@ -1,0 +1,177 @@
+"""The host Linux OS.
+
+Pisces runs as a kernel module on an otherwise-unmodified Linux host.
+For the reproduction the host matters in three ways:
+
+* it is the initial owner of every hardware resource, and the entity
+  that *offlines* cores and memory so Pisces can hand them to enclaves;
+* it hosts the Hobbes master control process and the Covirt controller;
+* it is the victim whose survival the paper's fault-isolation story is
+  about — so it exposes integrity state that tests can assert on
+  (`verify_integrity` walks host-owned memory for corruption planted by
+  misbehaving co-kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.hw.machine import Machine
+from repro.hw.memory import MemoryRegion, OwnershipError, PAGE_SIZE
+
+LINUX_OWNER = "linux"
+OFFLINE_OWNER = "offline"
+
+
+class HostPanic(Exception):
+    """The host kernel died — the failure mode Covirt exists to prevent."""
+
+
+@dataclass
+class KernelModule:
+    """A loaded kernel module (Pisces, and Covirt's kernel extension)."""
+
+    name: str
+    instance: object
+
+
+class LinuxHost:
+    """The general-purpose OS/R instance."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        # Linux boots owning all memory and all cores.
+        for zone in machine.topology.zones:
+            machine.memory.set_owner(
+                MemoryRegion(zone.mem_start, zone.mem_size, zone.zone_id),
+                LINUX_OWNER,
+            )
+        self.online_cores: set[int] = set(machine.topology.all_core_ids)
+        self.modules: dict[str, KernelModule] = {}
+        self.alive = True
+        self._sentinels: dict[int, int] = {}
+        self._install_sentinels()
+        # Platform devices: the NIC's MMIO window moves out of the
+        # general DRAM pool so offlining can never hand it to an enclave.
+        from repro.hw.devices import MmioNic
+
+        self.nic = MmioNic(machine)
+        machine.memory.transfer(self.nic.window, LINUX_OWNER, self.nic.owner)
+
+    def _install_sentinels(self) -> None:
+        """Plant canary values in host-owned pages.
+
+        A co-kernel that scribbles over host memory (the "no Covirt"
+        baseline failure) trips these; ``verify_integrity`` is how tests
+        and examples demonstrate the blast radius.
+        """
+        for zone in self.machine.topology.zones:
+            addr = zone.mem_start + 16 * PAGE_SIZE
+            value = 0xC0FFEE00 + zone.zone_id
+            self.machine.memory.write_u64(addr, value)
+            self._sentinels[addr] = value
+
+    # -- module management ----------------------------------------------
+
+    def load_module(self, name: str, instance: object) -> None:
+        if name in self.modules:
+            raise ValueError(f"module {name!r} already loaded")
+        self.modules[name] = KernelModule(name, instance)
+
+    def unload_module(self, name: str) -> object:
+        return self.modules.pop(name).instance
+
+    # -- resource offlining ---------------------------------------------
+
+    #: The boot CPU can never be hot-removed (as on real Linux); it is
+    #: where the MCP, the forwarding proxy, and channel doorbells live.
+    BOOT_CPU = 0
+
+    def can_offline(self, core_id: int) -> bool:
+        return core_id != self.BOOT_CPU and core_id in self.online_cores
+
+    def offline_cores(self, core_ids: list[int]) -> list[int]:
+        """Hot-unplug cores from Linux so Pisces can boot enclaves on them."""
+        missing = [c for c in core_ids if c not in self.online_cores]
+        if missing:
+            raise ValueError(f"cores {missing} are not online under Linux")
+        if self.BOOT_CPU in core_ids:
+            raise ValueError("the boot CPU cannot be offlined")
+        for core_id in core_ids:
+            self.online_cores.discard(core_id)
+        return list(core_ids)
+
+    def online_cores_return(self, core_ids: list[int]) -> None:
+        """Return cores to Linux after enclave teardown."""
+        for core_id in core_ids:
+            if core_id in self.online_cores:
+                raise ValueError(f"core {core_id} already online")
+            self.machine.core(core_id).reset()
+            self.online_cores.add(core_id)
+
+    def offline_memory(self, size: int, zone_id: int) -> MemoryRegion:
+        """Carve ``size`` bytes out of Linux's allocation in ``zone_id``.
+
+        Models Linux memory hot-remove: the region moves from
+        ``LINUX_OWNER`` to the offline pool Pisces draws from.
+        """
+        zone = self.machine.topology.zones[zone_id]
+        # Keep the first 64 pages of each zone for the host (sentinels,
+        # boot structures) so offlining never hands those out.
+        reserved = zone.mem_start + 64 * PAGE_SIZE
+        for start, end in self._linux_intervals():
+            start = max(start, reserved)
+            if end <= start or not zone.contains_addr(start):
+                continue
+            end = min(end, zone.mem_end)
+            if end - start >= size:
+                region = MemoryRegion(start, size, zone_id)
+                self.machine.memory.transfer(region, LINUX_OWNER, OFFLINE_OWNER)
+                return region
+        raise OwnershipError(
+            f"host cannot offline {size:#x} bytes in zone {zone_id}"
+        )
+
+    def online_memory_return(self, region: MemoryRegion) -> None:
+        """Memory hot-add back to Linux (after enclave teardown)."""
+        self.machine.memory.transfer(region, OFFLINE_OWNER, LINUX_OWNER)
+
+    def _linux_intervals(self) -> list[tuple[int, int]]:
+        return [
+            (r.start, r.end) for r in self.machine.memory.owned_by(LINUX_OWNER)
+        ]
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify_integrity(self) -> bool:
+        """True when no host canary has been corrupted."""
+        for addr, expected in self._sentinels.items():
+            if self.machine.memory.owner_of(addr) != LINUX_OWNER:
+                continue  # legitimately reassigned
+            if self.machine.memory.read_u64(addr) != expected:
+                return False
+        return True
+
+    def panic(self, reason: str) -> None:
+        """The node goes down.  Raising here is deliberate: nothing in a
+        correct Covirt run should ever reach this."""
+        self.alive = False
+        raise HostPanic(reason)
+
+    def owner_summary(self) -> dict[Hashable, int]:
+        """Bytes by owner — used by teardown/reclamation tests."""
+        summary: dict[Hashable, int] = {}
+        for start, end, owner in self.machine.memory._owners.intervals():
+            summary[owner] = summary.get(owner, 0) + (end - start)
+        return summary
+
+    def is_pristine(self) -> bool:
+        """True when every byte is back where boot left it: Linux owns
+        all DRAM except the permanent device MMIO windows."""
+        summary = self.owner_summary()
+        expected = {
+            LINUX_OWNER: self.machine.memory.size - self.nic.window.size,
+            self.nic.owner: self.nic.window.size,
+        }
+        return summary == expected

@@ -1,0 +1,19 @@
+"""mOS-style embedded LWK (simulated).
+
+mOS sits at the extreme end of the integration axis (Section III-A):
+the LWK is *compiled into* Linux, runs on cores designated at boot
+time, and LWK processes are nearly indistinguishable from Linux
+processes — system calls are function calls into the host kernel, and
+a large amount of kernel state is genuinely shared.
+
+For Covirt this is the hardest adaptation target, and the most
+interesting: the protection boundary cannot be "the enclave's memory"
+because correct operation *requires* the LWK cores to touch shared
+Linux structures.  The adaptation maps the designated partition plus an
+explicit shared-state window into the EPT — everything else is still
+contained.
+"""
+
+from repro.mos.stack import MosStack, MosLwk, MosError
+
+__all__ = ["MosStack", "MosLwk", "MosError"]

@@ -1,0 +1,15 @@
+"""The Nautilus Aerokernel (simulated).
+
+Nautilus is the second co-kernel architecture the paper mentions porting
+to Pisces under Covirt's protection.  It is an *aerokernel*: there is no
+user space at all — parallel runtimes are linked directly into the
+kernel and run as lightweight fibers in ring 0.  Compared with Kitten it
+has no syscall table, no per-task address spaces, and masks the APIC
+timer entirely (events are cooperative), which makes it a usefully
+*different* guest for demonstrating that Covirt's boot interposition and
+protection features are kernel-agnostic.
+"""
+
+from repro.nautilus.kernel import NautilusKernel, Fiber, FiberState
+
+__all__ = ["NautilusKernel", "Fiber", "FiberState"]

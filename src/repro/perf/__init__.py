@@ -1,0 +1,13 @@
+"""Performance model: cycle costs, counters, and TSC sampling."""
+
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.perf.counters import PerfCounters
+from repro.perf.sampling import DetourSampler, DetourTrace
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "PerfCounters",
+    "DetourSampler",
+    "DetourTrace",
+]

@@ -1,0 +1,44 @@
+"""Performance counters shared by the hypervisor and the harness."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    """Event counts + cycle attribution for one core's hypervisor."""
+
+    exits: Counter = field(default_factory=Counter)
+    cycles_in_vmm: int = 0
+    cycles_in_guest: int = 0
+    commands_serviced: int = 0
+    tlb_flushes: int = 0
+    ipis_filtered: int = 0
+    ipis_forwarded: int = 0
+    interrupts_injected: int = 0
+    posted_deliveries: int = 0
+
+    def record_exit(self, reason_name: str, cycles: int) -> None:
+        self.exits[reason_name] += 1
+        self.cycles_in_vmm += cycles
+
+    @property
+    def total_exits(self) -> int:
+        return sum(self.exits.values())
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        merged = PerfCounters()
+        merged.exits = self.exits + other.exits
+        merged.cycles_in_vmm = self.cycles_in_vmm + other.cycles_in_vmm
+        merged.cycles_in_guest = self.cycles_in_guest + other.cycles_in_guest
+        merged.commands_serviced = self.commands_serviced + other.commands_serviced
+        merged.tlb_flushes = self.tlb_flushes + other.tlb_flushes
+        merged.ipis_filtered = self.ipis_filtered + other.ipis_filtered
+        merged.ipis_forwarded = self.ipis_forwarded + other.ipis_forwarded
+        merged.interrupts_injected = (
+            self.interrupts_injected + other.interrupts_injected
+        )
+        merged.posted_deliveries = self.posted_deliveries + other.posted_deliveries
+        return merged

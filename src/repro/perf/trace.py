@@ -1,0 +1,64 @@
+"""Per-hypervisor event traces.
+
+A fixed-capacity ring of (tsc, kind, detail) records, appended on every
+exit, command, injection, and termination.  Cheap enough to leave on
+(it is a bounded deque of tuples), and exactly the artifact the paper's
+debugging narrative wants: when an enclave dies you get the ordered
+tail of what its hypervisor saw, not a cold corpse.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+
+class TraceKind(enum.Enum):
+    LAUNCH = "launch"
+    EXIT = "exit"
+    COMMAND = "command"
+    INJECT = "inject"
+    POSTED = "posted"
+    DROP = "drop"
+    TERMINATE = "terminate"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    tsc: int
+    kind: TraceKind
+    detail: str
+
+    def render(self) -> str:
+        return f"{self.tsc:>14d}  {self.kind.value:<9s} {self.detail}"
+
+
+class EventTrace:
+    """Bounded event ring for one hypervisor."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque[TraceRecord] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(self, tsc: int, kind: TraceKind, detail: str) -> None:
+        self._ring.append(TraceRecord(tsc, kind, detail))
+        self.total_recorded += 1
+
+    def tail(self, n: int = 16) -> list[TraceRecord]:
+        records = list(self._ring)
+        return records[-n:]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def render_tail(self, n: int = 16) -> str:
+        return "\n".join(record.render() for record in self.tail(n))
+
+    @property
+    def dropped(self) -> int:
+        """Records that aged out of the ring."""
+        return self.total_recorded - len(self._ring)

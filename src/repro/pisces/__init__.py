@@ -1,0 +1,25 @@
+"""Pisces co-kernel framework (simulated).
+
+Pisces partitions the machine into enclaves, boots an independent OS/R
+(Kitten) in each, and exposes a kernel-module ABI on the host through
+which the Hobbes runtime — and Covirt's controller — drive enclave
+lifecycle and dynamic resource assignment.
+"""
+
+from repro.pisces.resources import ResourceSpec, ResourceAssignment, enclave_owner
+from repro.pisces.bootparams import PiscesBootParams, BOOT_PARAMS_MAGIC
+from repro.pisces.enclave import Enclave, EnclaveState
+from repro.pisces.kmod import PiscesKmod, PiscesIoctl, ControlHooks
+
+__all__ = [
+    "ResourceSpec",
+    "ResourceAssignment",
+    "enclave_owner",
+    "PiscesBootParams",
+    "BOOT_PARAMS_MAGIC",
+    "Enclave",
+    "EnclaveState",
+    "PiscesKmod",
+    "PiscesIoctl",
+    "ControlHooks",
+]

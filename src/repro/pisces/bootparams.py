@@ -1,0 +1,93 @@
+"""Pisces boot-parameter structure.
+
+Pisces passes initial enclave configuration to a co-kernel via a
+structure *in memory*; the trampoline hands its address to the kernel
+entry point in a register.  We reproduce that: the structure has a real
+binary layout, is written into the enclave's first memory region, and
+Kitten parses it back out of guest memory at boot.  Covirt's own boot
+parameters (``repro.core.bootparams``) wrap this structure unmodified,
+exactly as Section IV-C describes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.hw.memory import MemoryRegion, PhysicalMemory
+
+BOOT_PARAMS_MAGIC = 0x50534345  # 'PSCE'
+
+_HEADER = struct.Struct("<IIQII")  # magic, enclave_id, cmdline ptr, ncores, nregions
+_CORE = struct.Struct("<I")
+_REGION = struct.Struct("<QQI")  # start, size, zone
+
+
+@dataclass
+class PiscesBootParams:
+    """The boot-parameter structure for one enclave."""
+
+    enclave_id: int
+    core_ids: list[int]
+    regions: list[MemoryRegion]
+    #: Guest-physical address of the enclave<->host command channel.
+    channel_addr: int = 0
+    #: Where this structure itself lives in (guest-)physical memory.
+    address: int = 0
+
+    def pack(self) -> bytes:
+        blob = bytearray()
+        blob += _HEADER.pack(
+            BOOT_PARAMS_MAGIC,
+            self.enclave_id,
+            self.channel_addr,
+            len(self.core_ids),
+            len(self.regions),
+        )
+        for core_id in self.core_ids:
+            blob += _CORE.pack(core_id)
+        for region in self.regions:
+            blob += _REGION.pack(region.start, region.size, region.zone)
+        return bytes(blob)
+
+    @classmethod
+    def unpack(cls, data: bytes, address: int = 0) -> "PiscesBootParams":
+        magic, enclave_id, channel_addr, ncores, nregions = _HEADER.unpack_from(
+            data, 0
+        )
+        if magic != BOOT_PARAMS_MAGIC:
+            raise ValueError(f"bad boot params magic {magic:#x}")
+        off = _HEADER.size
+        core_ids = []
+        for _ in range(ncores):
+            (core_id,) = _CORE.unpack_from(data, off)
+            core_ids.append(core_id)
+            off += _CORE.size
+        regions = []
+        for _ in range(nregions):
+            start, size, zone = _REGION.unpack_from(data, off)
+            regions.append(MemoryRegion(start, size, zone))
+            off += _REGION.size
+        return cls(enclave_id, core_ids, regions, channel_addr, address)
+
+    @property
+    def packed_size(self) -> int:
+        return (
+            _HEADER.size
+            + len(self.core_ids) * _CORE.size
+            + len(self.regions) * _REGION.size
+        )
+
+    def write_to(self, memory: PhysicalMemory, address: int) -> int:
+        """Serialise into physical memory; returns bytes written."""
+        data = self.pack()
+        memory.write(address, data)
+        self.address = address
+        return len(data)
+
+    @classmethod
+    def read_from(cls, memory: PhysicalMemory, address: int) -> "PiscesBootParams":
+        header = memory.read(address, _HEADER.size)
+        _, _, _, ncores, nregions = _HEADER.unpack(header)
+        total = _HEADER.size + ncores * _CORE.size + nregions * _REGION.size
+        return cls.unpack(memory.read(address, total), address)

@@ -1,0 +1,40 @@
+"""Simulated hardware virtualization extensions (Intel VMX analogue).
+
+This package reproduces, in software, the VMX feature set Covirt builds
+on: the per-core VMCS, nested page tables (EPT) with 4K/2M/1G mappings,
+the exit-reason taxonomy, MSR and I/O permission bitmaps, APIC
+virtualization (trap-and-emulate mode) and posted-interrupt delivery.
+
+It deliberately contains *no policy*: which accesses are allowed, what
+happens on a violation, and when caches are flushed are all decided by
+the Covirt layer in :mod:`repro.core`.
+"""
+
+from repro.vmx.ept import (
+    EptMapping,
+    EptPermissions,
+    EptViolationInfo,
+    ExtendedPageTable,
+)
+from repro.vmx.exits import ExitReason, VmExit
+from repro.vmx.io_bitmap import IoBitmap
+from repro.vmx.msr_bitmap import MsrBitmap
+from repro.vmx.posted import PostedInterruptDescriptor
+from repro.vmx.vapic import VapicMode, VirtualApicPage
+from repro.vmx.vmcs import Vmcs, VmcsValidationError
+
+__all__ = [
+    "EptMapping",
+    "EptPermissions",
+    "EptViolationInfo",
+    "ExtendedPageTable",
+    "ExitReason",
+    "VmExit",
+    "IoBitmap",
+    "MsrBitmap",
+    "PostedInterruptDescriptor",
+    "VapicMode",
+    "VirtualApicPage",
+    "Vmcs",
+    "VmcsValidationError",
+]

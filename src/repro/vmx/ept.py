@@ -1,0 +1,275 @@
+"""Extended (nested) page tables.
+
+The EPT is Covirt's primary enforcement mechanism: the controller builds
+an *identity map* of exactly the physical regions assigned to an enclave,
+and any guest access outside those regions takes an EPT violation exit.
+
+Mappings exist at 4 KiB, 2 MiB and 1 GiB granularity.  ``map_region``
+greedily coalesces into the largest page size that alignment permits —
+the optimization the paper calls out — and ``unmap_region`` splinters
+large pages when an unmap cuts through one, exactly as a real EPT
+manager must.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.hw.memory import (
+    PAGE_SIZE,
+    PAGE_SIZE_1G,
+    PAGE_SIZE_2M,
+    is_page_aligned,
+)
+
+#: Page sizes from largest to smallest, for greedy coalescing.
+PAGE_SIZES_DESC = (PAGE_SIZE_1G, PAGE_SIZE_2M, PAGE_SIZE)
+
+
+class EptError(Exception):
+    """Structural misuse of the EPT (overlapping map, bad alignment)."""
+
+
+@dataclass(frozen=True)
+class EptPermissions:
+    """EPT entry permission bits."""
+
+    read: bool = True
+    write: bool = True
+    execute: bool = True
+
+    def allows(self, *, write: bool = False, execute: bool = False) -> bool:
+        if not self.read and not write and not execute:
+            return False
+        if write and not self.write:
+            return False
+        if execute and not self.execute:
+            return False
+        return self.read or write or execute
+
+    @classmethod
+    def full(cls) -> "EptPermissions":
+        """Covirt maps everything with full access: violations mean the
+        address is *outside* the enclave, not a page-permission subtlety."""
+        return cls(True, True, True)
+
+
+@dataclass(frozen=True)
+class EptMapping:
+    """One EPT entry: a guest-physical page mapped to a host-physical page."""
+
+    guest_page: int
+    host_page: int
+    page_size: int
+    perms: EptPermissions
+
+    def __post_init__(self) -> None:
+        if self.page_size not in PAGE_SIZES_DESC:
+            raise EptError(f"unsupported page size {self.page_size:#x}")
+        if self.guest_page % self.page_size or self.host_page % self.page_size:
+            raise EptError(
+                f"mapping {self.guest_page:#x}->{self.host_page:#x} not "
+                f"aligned to {self.page_size:#x}"
+            )
+
+    @property
+    def guest_end(self) -> int:
+        return self.guest_page + self.page_size
+
+    @property
+    def is_identity(self) -> bool:
+        return self.guest_page == self.host_page
+
+    def translate(self, gpa: int) -> int:
+        if not self.guest_page <= gpa < self.guest_end:
+            raise EptError(f"gpa {gpa:#x} outside mapping")
+        return self.host_page + (gpa - self.guest_page)
+
+
+@dataclass(frozen=True)
+class EptViolationInfo:
+    """Exit qualification for an EPT violation."""
+
+    gpa: int
+    is_write: bool
+    is_exec: bool
+
+    def describe(self) -> str:
+        kind = "exec" if self.is_exec else ("write" if self.is_write else "read")
+        return f"EPT violation: {kind} of unmapped gpa {self.gpa:#x}"
+
+
+class ExtendedPageTable:
+    """A software EPT for one enclave.
+
+    The table is shared by every core of the enclave (as on hardware,
+    where all VMCSs point at the same EPT root); per-core staleness lives
+    in each core's TLB, not here.
+    """
+
+    def __init__(self) -> None:
+        self._mappings: dict[int, EptMapping] = {}
+        #: Monotonic generation number, bumped on every structural change;
+        #: lets cores detect they are running on stale translations.
+        self.generation: int = 0
+
+    def __len__(self) -> int:
+        return len(self._mappings)
+
+    # -- mapping -------------------------------------------------------
+
+    def map_region(
+        self,
+        guest_start: int,
+        size: int,
+        host_start: int | None = None,
+        perms: EptPermissions | None = None,
+        coalesce: bool = True,
+    ) -> list[EptMapping]:
+        """Map ``[guest_start, +size)`` — identity map unless ``host_start``.
+
+        Greedily uses 1 GiB and 2 MiB pages where alignment of both sides
+        allows (disable with ``coalesce=False`` for the ablation study).
+        Raises :class:`EptError` if any byte of the range is already
+        mapped: Covirt's controller is the single writer and never
+        double-maps.
+        """
+        if size <= 0 or not is_page_aligned(size) or not is_page_aligned(guest_start):
+            raise EptError(f"bad map range [{guest_start:#x},+{size:#x})")
+        if host_start is None:
+            host_start = guest_start
+        if not is_page_aligned(host_start):
+            raise EptError(f"host start {host_start:#x} not aligned")
+        if self.overlaps(guest_start, size):
+            raise EptError(
+                f"map [{guest_start:#x},+{size:#x}) overlaps existing mapping"
+            )
+        perms = perms or EptPermissions.full()
+        created: list[EptMapping] = []
+        gpa, hpa, remaining = guest_start, host_start, size
+        sizes = PAGE_SIZES_DESC if coalesce else (PAGE_SIZE,)
+        while remaining:
+            for page_size in sizes:
+                if (
+                    gpa % page_size == 0
+                    and hpa % page_size == 0
+                    and remaining >= page_size
+                ):
+                    mapping = EptMapping(gpa, hpa, page_size, perms)
+                    self._mappings[gpa] = mapping
+                    created.append(mapping)
+                    gpa += page_size
+                    hpa += page_size
+                    remaining -= page_size
+                    break
+            else:  # pragma: no cover - PAGE_SIZE always matches
+                raise EptError("no page size fits")
+        self.generation += 1
+        return created
+
+    def unmap_region(self, guest_start: int, size: int) -> int:
+        """Unmap ``[guest_start, +size)``; returns bytes unmapped.
+
+        Large pages that straddle the boundary are splintered into the
+        smallest granularity needed so the remainder stays mapped.
+        Unmapping a range that is not fully mapped raises — the
+        controller tracks what it mapped and never blind-unmaps.
+        """
+        if size <= 0 or not is_page_aligned(size) or not is_page_aligned(guest_start):
+            raise EptError(f"bad unmap range [{guest_start:#x},+{size:#x})")
+        end = guest_start + size
+        covered = sum(
+            min(m.guest_end, end) - max(m.guest_page, guest_start)
+            for m in self._overlapping(guest_start, size)
+        )
+        if covered != size:
+            raise EptError(
+                f"unmap [{guest_start:#x},+{size:#x}) covers only "
+                f"{covered:#x} mapped bytes"
+            )
+        for mapping in self._overlapping(guest_start, size):
+            del self._mappings[mapping.guest_page]
+            if mapping.guest_page < guest_start:
+                self._resplinter(
+                    mapping, mapping.guest_page, guest_start - mapping.guest_page
+                )
+            if mapping.guest_end > end:
+                self._resplinter(mapping, end, mapping.guest_end - end)
+        self.generation += 1
+        return size
+
+    def _resplinter(self, parent: EptMapping, gpa: int, size: int) -> None:
+        """Re-map a surviving slice of a splintered large page."""
+        hpa = parent.translate(gpa)
+        remaining = size
+        while remaining:
+            for page_size in PAGE_SIZES_DESC:
+                if gpa % page_size == 0 and hpa % page_size == 0 and remaining >= page_size:
+                    self._mappings[gpa] = EptMapping(gpa, hpa, page_size, parent.perms)
+                    gpa += page_size
+                    hpa += page_size
+                    remaining -= page_size
+                    break
+
+    # -- lookup --------------------------------------------------------
+
+    def find_mapping(self, gpa: int) -> EptMapping | None:
+        """The mapping covering ``gpa``, if any (O(1) per page size)."""
+        for page_size in PAGE_SIZES_DESC:
+            base = gpa & ~(page_size - 1)
+            mapping = self._mappings.get(base)
+            if mapping is not None and mapping.page_size == page_size:
+                return mapping
+        return None
+
+    def translate(
+        self, gpa: int, *, write: bool = False, execute: bool = False
+    ) -> tuple[int, EptMapping] | EptViolationInfo:
+        """Walk the table: host address on success, violation info on miss."""
+        mapping = self.find_mapping(gpa)
+        if mapping is None or not mapping.perms.allows(write=write, execute=execute):
+            return EptViolationInfo(gpa=gpa, is_write=write, is_exec=execute)
+        return mapping.translate(gpa), mapping
+
+    def is_mapped(self, gpa: int) -> bool:
+        return self.find_mapping(gpa) is not None
+
+    def _overlapping(self, start: int, size: int) -> list[EptMapping]:
+        end = start + size
+        return [
+            m
+            for m in self._mappings.values()
+            if m.guest_page < end and m.guest_end > start
+        ]
+
+    def overlaps(self, start: int, size: int) -> bool:
+        return bool(self._overlapping(start, size))
+
+    # -- introspection -------------------------------------------------
+
+    def mappings(self) -> Iterator[EptMapping]:
+        yield from sorted(self._mappings.values(), key=lambda m: m.guest_page)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(m.page_size for m in self._mappings.values())
+
+    def count_by_size(self) -> dict[int, int]:
+        """{page_size: count} — how well coalescing did."""
+        counts: dict[int, int] = {PAGE_SIZE: 0, PAGE_SIZE_2M: 0, PAGE_SIZE_1G: 0}
+        for m in self._mappings.values():
+            counts[m.page_size] += 1
+        return counts
+
+    @property
+    def is_identity(self) -> bool:
+        return all(m.is_identity for m in self._mappings.values())
+
+    def check_invariants(self) -> None:
+        """No overlaps, all aligned (alignment enforced at construction)."""
+        spans = sorted(
+            (m.guest_page, m.guest_end) for m in self._mappings.values()
+        )
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, f"overlapping EPT mappings at {s2:#x}"

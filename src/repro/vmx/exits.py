@@ -1,0 +1,53 @@
+"""VM exit taxonomy.
+
+A :class:`VmExit` is the hardware's report of why guest execution
+stopped; the Covirt hypervisor's dispatch table in
+``repro.core.exits`` keys off :class:`ExitReason`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ExitReason(enum.Enum):
+    """Exit reasons the simulated VMX hardware can produce.
+
+    Names and semantics follow the SDM subset the paper's hypervisor
+    handles; everything else is architecturally impossible in the
+    simulated machine.
+    """
+
+    EXCEPTION_OR_NMI = "exception_or_nmi"
+    EXTERNAL_INTERRUPT = "external_interrupt"
+    TRIPLE_FAULT = "triple_fault"
+    CPUID = "cpuid"
+    HLT = "hlt"
+    VMCALL = "vmcall"
+    IO_INSTRUCTION = "io_instruction"
+    MSR_READ = "msr_read"
+    MSR_WRITE = "msr_write"
+    APIC_WRITE = "apic_write"  # trapped ICR write (VAPIC trap mode)
+    EPT_VIOLATION = "ept_violation"
+    XSETBV = "xsetbv"
+
+
+@dataclass(frozen=True)
+class VmExit:
+    """One VM exit event."""
+
+    reason: ExitReason
+    core_id: int
+    #: Reason-specific payload: EptViolationInfo, (msr, value), port
+    #: access tuple, trapped IpiMessage, Interrupt, ...
+    qualification: Any = field(default=None, compare=False)
+    guest_tsc: int = 0
+
+    def describe(self) -> str:
+        detail = ""
+        if self.qualification is not None:
+            describe = getattr(self.qualification, "describe", None)
+            detail = f": {describe()}" if describe else f": {self.qualification!r}"
+        return f"[core {self.core_id}] exit {self.reason.value}{detail}"

@@ -1,0 +1,51 @@
+"""I/O port permission bitmap.
+
+One bit per port in the 64 KiB space; a set bit makes the guest's
+IN/OUT take a VM exit.  Covirt traps everything except an explicit
+allow list (typically just the enclave's console UART, if any).
+"""
+
+from __future__ import annotations
+
+from repro.hw.ioports import PORT_SPACE_SIZE
+
+
+class IoBitmap:
+    """Which port accesses exit."""
+
+    def __init__(self, trap_by_default: bool = True) -> None:
+        self.trap_by_default = trap_by_default
+        self._allowed: set[int] = set()
+        self._trapped: set[int] = set()
+
+    @classmethod
+    def allow_all(cls) -> "IoBitmap":
+        """Bitmap that never exits (I/O protection disabled)."""
+        return cls(trap_by_default=False)
+
+    @staticmethod
+    def _check(port: int) -> None:
+        if not 0 <= port < PORT_SPACE_SIZE:
+            raise ValueError(f"port {port:#x} outside port space")
+
+    def allow(self, port: int) -> None:
+        self._check(port)
+        self._allowed.add(port)
+        self._trapped.discard(port)
+
+    def allow_range(self, first: int, last: int) -> None:
+        for port in range(first, last + 1):
+            self.allow(port)
+
+    def trap(self, port: int) -> None:
+        self._check(port)
+        self._trapped.add(port)
+        self._allowed.discard(port)
+
+    def should_exit(self, port: int) -> bool:
+        self._check(port)
+        if port in self._trapped:
+            return True
+        if port in self._allowed:
+            return False
+        return self.trap_by_default

@@ -1,0 +1,77 @@
+"""MSR permission bitmap.
+
+VMX consults a per-VMCS bitmap on every guest RDMSR/WRMSR to decide
+whether the access executes natively or takes an exit.  Covirt's MSR
+protection populates this with a default-trap policy plus an explicit
+pass-through list for the benign MSRs an LWK touches on hot paths
+(FS/GS base, TSC aux).
+"""
+
+from __future__ import annotations
+
+from repro.hw.msr import MSR
+
+#: MSRs an LWK legitimately reads/writes frequently; pass through by
+#: default so MSR protection costs nothing at steady state.
+DEFAULT_PASSTHROUGH: frozenset[int] = frozenset(
+    {
+        MSR.IA32_FS_BASE,
+        MSR.IA32_GS_BASE,
+        MSR.IA32_KERNEL_GS_BASE,
+        MSR.IA32_TSC_AUX,
+        MSR.IA32_STAR,
+        MSR.IA32_LSTAR,
+        MSR.IA32_FMASK,
+        MSR.IA32_PAT,
+        MSR.IA32_EFER,
+    }
+)
+
+
+class MsrBitmap:
+    """Which MSR accesses exit.
+
+    ``trap_by_default`` mirrors how Covirt configures hardware: anything
+    not explicitly passed through is trapped so the hypervisor can apply
+    policy.  With the bitmap disabled entirely (no MSR protection), VMX
+    semantics are trap-nothing for the benign set — modelled by
+    ``allow_all()``.
+    """
+
+    def __init__(self, trap_by_default: bool = True) -> None:
+        self.trap_by_default = trap_by_default
+        self._read_passthrough: set[int] = set(DEFAULT_PASSTHROUGH)
+        self._write_passthrough: set[int] = set(DEFAULT_PASSTHROUGH)
+        self._read_trapped: set[int] = set()
+        self._write_trapped: set[int] = set()
+
+    @classmethod
+    def allow_all(cls) -> "MsrBitmap":
+        """Bitmap that never exits (MSR protection disabled)."""
+        return cls(trap_by_default=False)
+
+    def passthrough(self, index: int, *, read: bool = True, write: bool = True) -> None:
+        if read:
+            self._read_passthrough.add(index)
+            self._read_trapped.discard(index)
+        if write:
+            self._write_passthrough.add(index)
+            self._write_trapped.discard(index)
+
+    def trap(self, index: int, *, read: bool = True, write: bool = True) -> None:
+        if read:
+            self._read_trapped.add(index)
+            self._read_passthrough.discard(index)
+        if write:
+            self._write_trapped.add(index)
+            self._write_passthrough.discard(index)
+
+    def should_exit(self, index: int, *, is_write: bool) -> bool:
+        """Does this guest MSR access take a VM exit?"""
+        trapped = self._write_trapped if is_write else self._read_trapped
+        passed = self._write_passthrough if is_write else self._read_passthrough
+        if index in trapped:
+            return True
+        if index in passed:
+            return False
+        return self.trap_by_default

@@ -1,0 +1,51 @@
+"""Posted-interrupt descriptor (PIV).
+
+A 64-byte in-memory structure registered with the VMCS.  Senders set a
+bit in the 256-bit pending bitmap and, if no notification is already
+outstanding, fire the registered notification vector at the target
+core; the hardware (here: the delivery engine in ``repro.core.ipi``)
+then injects every pending vector into the guest *without a VM exit*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.interrupts import VECTOR_SPACE_SIZE
+
+
+@dataclass
+class PostedInterruptDescriptor:
+    """The PI descriptor for one vCPU."""
+
+    #: Vector used to notify the physical core that bits are pending.
+    notification_vector: int
+    pending: set[int] = field(default_factory=set)
+    #: Outstanding-notification bit: suppresses duplicate notification
+    #: IPIs while one is already in flight.
+    outstanding: bool = False
+    #: Statistics: how many posts were absorbed without a fresh
+    #: notification (they piggybacked on an outstanding one).
+    coalesced_posts: int = 0
+
+    def post(self, vector: int) -> bool:
+        """Post ``vector``; returns True if a notification IPI is needed."""
+        if not 0 <= vector < VECTOR_SPACE_SIZE:
+            raise ValueError(f"vector {vector} outside vector space")
+        self.pending.add(vector)
+        if self.outstanding:
+            self.coalesced_posts += 1
+            return False
+        self.outstanding = True
+        return True
+
+    def drain(self) -> list[int]:
+        """Deliver-and-clear: returns pending vectors in ascending order."""
+        vectors = sorted(self.pending)
+        self.pending.clear()
+        self.outstanding = False
+        return vectors
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self.pending)

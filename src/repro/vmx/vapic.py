@@ -1,0 +1,70 @@
+"""APIC virtualization.
+
+Two hardware mechanisms back Covirt's IPI protection (Section IV-C):
+
+* **Trap mode** — every guest write to the APIC ICR takes an
+  ``APIC_WRITE`` exit; the hypervisor validates and (maybe) re-issues
+  the IPI on the physical APIC.  VMX additionally forces *incoming*
+  interrupts to exit in this mode, which is the latency cost the paper
+  notes.
+* **Posted mode (PIV)** — incoming IPIs are posted into an in-memory
+  descriptor and delivered without any exit; only genuinely external
+  device interrupts (and the local APIC timer) still exit.
+
+The :class:`VirtualApicPage` is the guest-visible APIC surface; which
+mode is active is a property of the VMCS controls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hw.apic import DeliveryMode, IpiMessage
+
+
+class VapicMode(enum.Enum):
+    """How guest APIC accesses are virtualized."""
+
+    #: No APIC virtualization: guest drives the physical APIC directly
+    #: (IPI protection off).
+    DISABLED = "disabled"
+    #: Full trap-and-emulate of ICR writes; incoming interrupts exit.
+    TRAP = "trap"
+    #: Posted interrupts: ICR writes still trap (for the whitelist), but
+    #: incoming IPIs are delivered exit-free via the PI descriptor.
+    POSTED = "posted"
+
+
+@dataclass
+class VirtualApicPage:
+    """The 4 KiB virtual-APIC page for one vCPU.
+
+    Only the registers the stack touches are modelled: the ICR (whose
+    writes Covirt traps) and a pending-vector view kept in sync by the
+    delivery engine.
+    """
+
+    core_id: int
+    icr_value: int = 0
+    #: Vectors delivered to the guest but not yet EOI'd.
+    in_service: set[int] = field(default_factory=set)
+    #: ICR writes observed (for tests / accounting).
+    icr_writes: list[IpiMessage] = field(default_factory=list)
+
+    def compose_icr(self, dest_core: int, vector: int, mode: DeliveryMode) -> int:
+        """Encode an ICR value the way the guest kernel would."""
+        mode_bits = 0b100 if mode is DeliveryMode.NMI else 0b000
+        return (dest_core << 32) | (mode_bits << 8) | vector
+
+    @staticmethod
+    def decode_icr(value: int) -> tuple[int, int, DeliveryMode]:
+        """Decode an ICR value into (dest_core, vector, mode)."""
+        dest = value >> 32
+        vector = value & 0xFF
+        mode = DeliveryMode.NMI if (value >> 8) & 0b111 == 0b100 else DeliveryMode.FIXED
+        return dest, vector, mode
+
+    def record_write(self, msg: IpiMessage) -> None:
+        self.icr_value = self.compose_icr(msg.dest_core, msg.vector, msg.mode)
+        self.icr_writes.append(msg)

@@ -1,0 +1,123 @@
+"""Virtual Machine Control Structure.
+
+One VMCS per core per enclave.  Covirt's controller writes the VMCS
+*before* the core boots (the hypervisor then only loads and launches
+it), and mutates control fields at runtime in response to resource
+events — which is why the structure carries a ``generation`` the
+hypervisor can compare against its per-core loaded state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vmx.ept import ExtendedPageTable
+from repro.vmx.io_bitmap import IoBitmap
+from repro.vmx.msr_bitmap import MsrBitmap
+from repro.vmx.posted import PostedInterruptDescriptor
+from repro.vmx.vapic import VapicMode, VirtualApicPage
+
+#: VMCS revision identifier of the simulated part.
+VMCS_REVISION = 0x0001_2025
+
+
+class VmcsValidationError(Exception):
+    """VM entry would fail: inconsistent VMCS control/guest state."""
+
+
+@dataclass
+class GuestState:
+    """Architectural guest state loaded on VM entry.
+
+    Covirt configures this to mirror exactly what the Pisces trampoline
+    would have produced for a native boot: 64-bit long mode, identity
+    page tables, entry at the co-kernel start address with the boot
+    parameter pointer in RSI (Kitten's boot convention).
+    """
+
+    entry_point: int = 0
+    boot_params_gpa: int = 0
+    long_mode: bool = True
+    identity_page_tables: bool = True
+    #: Guest interrupt flag: whether the guest accepts interrupts.
+    interrupts_enabled: bool = True
+
+
+@dataclass
+class ExecutionControls:
+    """Pin-based + processor-based VM execution controls (the subset
+    Covirt programs)."""
+
+    #: Take an exit on hardware/external interrupts while in guest mode.
+    external_interrupt_exiting: bool = True
+    #: Take an exit on NMIs (Covirt's command-queue doorbell).
+    nmi_exiting: bool = True
+    #: Consult the MSR bitmap (off = never exit on MSR access).
+    use_msr_bitmap: bool = False
+    #: Consult the I/O bitmap (off = never exit on port access).
+    use_io_bitmap: bool = False
+    #: Enable EPT-based address translation.
+    enable_ept: bool = False
+    #: APIC virtualization mode.
+    vapic_mode: VapicMode = VapicMode.DISABLED
+    #: Exit on HLT (Covirt parks terminated enclaves itself).
+    hlt_exiting: bool = True
+
+
+@dataclass
+class Vmcs:
+    """The control structure for one vCPU."""
+
+    core_id: int
+    revision: int = VMCS_REVISION
+    guest: GuestState = field(default_factory=GuestState)
+    controls: ExecutionControls = field(default_factory=ExecutionControls)
+    ept: ExtendedPageTable | None = None
+    msr_bitmap: MsrBitmap | None = None
+    io_bitmap: IoBitmap | None = None
+    vapic_page: VirtualApicPage | None = None
+    pi_descriptor: PostedInterruptDescriptor | None = None
+    #: Set once a successful VMLAUNCH has happened on this VMCS.
+    launched: bool = False
+    #: Bumped by the controller whenever it rewrites control state while
+    #: the guest is running; the hypervisor reloads when it observes a
+    #: mismatch with its per-core loaded generation.
+    generation: int = 0
+
+    def touch(self) -> None:
+        """Mark the VMCS dirty after a remote (controller-side) update."""
+        self.generation += 1
+
+    def validate(self) -> None:
+        """The checks hardware performs at VM entry.
+
+        Mirrors the SDM's "checks on VMX controls" at the granularity
+        our controls exist: every enabled feature must have its backing
+        structure, and posted interrupts require a virtual-APIC page.
+        """
+        if self.revision != VMCS_REVISION:
+            raise VmcsValidationError(
+                f"VMCS revision {self.revision:#x} != {VMCS_REVISION:#x}"
+            )
+        if self.controls.enable_ept and self.ept is None:
+            raise VmcsValidationError("EPT enabled but no EPT attached")
+        if self.controls.use_msr_bitmap and self.msr_bitmap is None:
+            raise VmcsValidationError("MSR bitmap enabled but not attached")
+        if self.controls.use_io_bitmap and self.io_bitmap is None:
+            raise VmcsValidationError("I/O bitmap enabled but not attached")
+        if self.controls.vapic_mode is not VapicMode.DISABLED:
+            if self.vapic_page is None:
+                raise VmcsValidationError("VAPIC mode set but no vAPIC page")
+        if self.controls.vapic_mode is VapicMode.POSTED:
+            if self.pi_descriptor is None:
+                raise VmcsValidationError("posted mode set but no PI descriptor")
+            if not self.controls.external_interrupt_exiting:
+                raise VmcsValidationError(
+                    "posted interrupts require external-interrupt exiting"
+                )
+        if self.guest.entry_point == 0:
+            raise VmcsValidationError("guest entry point not configured")
+        if not self.guest.long_mode or not self.guest.identity_page_tables:
+            raise VmcsValidationError(
+                "Covirt guests launch directly into 64-bit identity-mapped mode"
+            )

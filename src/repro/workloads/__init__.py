@@ -1,0 +1,44 @@
+"""The evaluation workloads (Table I) and their execution engine.
+
+Each workload exists twice, deliberately:
+
+* as a **reference kernel** — a real numpy implementation of the
+  benchmark's numerical core (STREAM triad, GUPS updates, CG solves,
+  Lennard-Jones MD, ...) used by tests and examples to show the
+  workloads are genuine codes with checkable results; and
+* as a **machine profile** — a set of :class:`~repro.workloads.base.Phase`
+  descriptors (cycles, memory accesses, footprint, access pattern, IPI
+  traffic) that the engine executes against a simulated enclave to
+  obtain the timing the paper's figures report.
+
+The engine computes Covirt's overhead *mechanistically* from the
+enclave's virtualization configuration: EPT-walk penalties from TLB
+miss rates, exit costs for trapped IPIs and interrupts, NUMA and
+bandwidth-contention effects from the hardware layout.
+"""
+
+from repro.workloads.base import Phase, Workload, WorkloadResult
+from repro.workloads.engine import ExecutionEngine
+from repro.workloads.selfish import SelfishDetour
+from repro.workloads.stream import Stream
+from repro.workloads.randomaccess import RandomAccess
+from repro.workloads.hpcg import Hpcg
+from repro.workloads.minife import MiniFE
+from repro.workloads.lammps import Lammps, LAMMPS_PROBLEMS
+from repro.workloads.registry import BENCHMARK_TABLE, workload_by_name
+
+__all__ = [
+    "Phase",
+    "Workload",
+    "WorkloadResult",
+    "ExecutionEngine",
+    "SelfishDetour",
+    "Stream",
+    "RandomAccess",
+    "Hpcg",
+    "MiniFE",
+    "Lammps",
+    "LAMMPS_PROBLEMS",
+    "BENCHMARK_TABLE",
+    "workload_by_name",
+]

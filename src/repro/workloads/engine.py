@@ -1,0 +1,286 @@
+"""The workload execution engine.
+
+Executes a workload's machine profile on a booted enclave and returns
+the elapsed time with a full cycle breakdown.  All virtualization costs
+are derived from the enclave's *actual* Covirt context — the VMCS
+controls, the EPT's real entry sizes, the effective IPI mode — so the
+engine has no per-configuration special cases: change the config, get
+the mechanistically implied timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.features import Feature
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.tlb import AccessPattern, estimate_miss_rate
+from repro.kitten.kernel import HOUSEKEEPING_TICK_CYCLES
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.pisces.enclave import Enclave
+from repro.vmx.vapic import VapicMode
+from repro.workloads.base import Phase, Workload, WorkloadResult
+
+#: Cores per socket needed to saturate the socket's DRAM bandwidth on
+#: the simulated part (low-clocked Broadwell: memory outruns few cores).
+BANDWIDTH_SATURATION_CORES = 3.0
+
+#: How much of a poorly-placed working set actually spills to the remote
+#: zone (first-touch placement keeps most accesses local).
+NUMA_SPILL_FACTOR = 0.6
+
+#: Cost of an unvirtualized ICR write + fabric traversal.
+NATIVE_IPI_SEND = 150
+
+#: How much of a remote DRAM reference's extra latency actually stalls
+#: the core, by access pattern: streaming prefetchers hide nearly all
+#: of it, dependent random chains eat all of it.
+NUMA_LATENCY_EXPOSURE = {
+    AccessPattern.SEQUENTIAL: 0.15,
+    AccessPattern.STRIDED: 0.3,
+    AccessPattern.SPARSE_GATHER: 0.6,
+    AccessPattern.RANDOM: 1.0,
+}
+
+
+@dataclass
+class _EnclaveShape:
+    ncores: int
+    cores_by_zone: dict[int, int]
+    mem_by_zone: dict[int, int]
+
+    @property
+    def zones_used(self) -> int:
+        return len(self.cores_by_zone)
+
+
+class ExecutionEngine:
+    """Runs workload profiles on enclaves."""
+
+    def __init__(self, machine: Machine, costs: CostModel = DEFAULT_COSTS) -> None:
+        self.machine = machine
+        self.costs = costs
+
+    # -- enclave introspection -------------------------------------------
+
+    def _shape(self, enclave: Enclave) -> _EnclaveShape:
+        cores_by_zone: dict[int, int] = {}
+        for core_id in enclave.assignment.core_ids:
+            zone = self.machine.core(core_id).zone
+            cores_by_zone[zone] = cores_by_zone.get(zone, 0) + 1
+        mem_by_zone: dict[int, int] = {}
+        for region in enclave.assignment.regions:
+            zone = self.machine.topology.zone_of_addr(region.start)
+            mem_by_zone[zone] = mem_by_zone.get(zone, 0) + region.size
+        return _EnclaveShape(
+            ncores=len(enclave.assignment.core_ids),
+            cores_by_zone=cores_by_zone,
+            mem_by_zone=mem_by_zone,
+        )
+
+    @staticmethod
+    def layout_label(shape: _EnclaveShape) -> str:
+        return f"{shape.ncores}c/{shape.zones_used}n"
+
+    def _config(self, enclave: Enclave):
+        """(label, ctx) for the enclave's protection state."""
+        ctx = enclave.virt_context
+        if ctx is None:
+            return "native", None
+        return ctx.config.label(), ctx
+
+    def _ept_extra_per_miss(self, ctx) -> float:
+        """Byte-weighted nested-walk penalty from the EPT's real entries."""
+        if ctx is None or ctx.ept is None:
+            return 0.0
+        counts = ctx.ept.entry_counts()
+        total = sum(size * n for size, n in counts.items())
+        if total == 0:
+            return self.costs.ept_extra_4k
+        weighted = sum(
+            size * n * self.costs.ept_extra_per_miss(size)
+            for size, n in counts.items()
+        )
+        return weighted / total
+
+    # -- the cost model ----------------------------------------------------
+
+    def _phase_cycles(
+        self,
+        phase: Phase,
+        workload: Workload,
+        shape: _EnclaveShape,
+        ctx,
+        breakdown: dict[str, float],
+        zone_pressure: dict[int, float] | None = None,
+    ) -> float:
+        """Per-core cycles this phase takes on this enclave."""
+        n = shape.ncores
+        eff = workload.efficiency_at(n)
+        compute = phase.total_cycles / n / eff
+        accesses = phase.total_mem_accesses / n
+
+        # TLB behaviour: guest-page-size walk cost exists natively too;
+        # virtualization only adds the nested-walk increment.
+        per_core_fp = (
+            phase.footprint_bytes
+            if phase.shared_footprint
+            else phase.footprint_bytes // max(n, 1)
+        )
+        miss_rate = estimate_miss_rate(
+            per_core_fp, phase.pattern, page_size=phase.page_size
+        )
+        tlb = accesses * miss_rate * self.costs.tlb_miss_native
+        ept = 0.0
+        if ctx is not None and ctx.config.has(Feature.MEMORY):
+            ept = accesses * miss_rate * self._ept_extra_per_miss(ctx)
+
+        # NUMA placement: accesses that spill to the remote zone.
+        total_mem = sum(shape.mem_by_zone.values()) or 1
+        remote_frac = 0.0
+        for zone, ncores_z in shape.cores_by_zone.items():
+            local_share = shape.mem_by_zone.get(zone, 0) / total_mem
+            remote_frac += (ncores_z / n) * (1.0 - local_share)
+        numa = (
+            accesses
+            * remote_frac
+            * NUMA_SPILL_FACTOR
+            * NUMA_LATENCY_EXPOSURE[phase.pattern]
+            * self.costs.remote_numa_extra
+        )
+
+        # Socket bandwidth contention on the memory-bound fraction.  With
+        # co-running enclaves, pressure from *everyone's* cores in the
+        # zone counts (zone_pressure overrides the lone-enclave view).
+        if zone_pressure is not None:
+            worst_packing = max(
+                zone_pressure.get(z, 0.0) for z in shape.cores_by_zone
+            )
+        else:
+            worst_packing = max(shape.cores_by_zone.values())
+        contention = max(1.0, worst_packing / BANDWIDTH_SATURATION_CORES)
+        bandwidth = compute * phase.mem_bound_frac * (contention - 1.0)
+
+        # IPI traffic: send + receive path depends on the IPI feature.
+        ipis = phase.total_ipis / n
+        if ctx is not None and ctx.config.has(Feature.IPI):
+            mode = next(iter(ctx.vmcs.values())).controls.vapic_mode
+            send = self.costs.exit_cost(emulation=True)  # trapped ICR write
+            if mode is VapicMode.POSTED:
+                recv = self.costs.posted_delivery
+            else:
+                recv = self.costs.exit_cost() + self.costs.irq_injection
+            ipi = ipis * (send + recv + self.costs.native_irq_dispatch)
+            ipi += compute * workload.ipi_sensitivity
+        else:
+            ipi = ipis * (NATIVE_IPI_SEND + self.costs.native_irq_dispatch)
+
+        # Baseline VMX non-root penalty (calibrated per workload).
+        baseline = compute * workload.vmx_sensitivity if ctx is not None else 0.0
+
+        breakdown["compute"] += compute
+        breakdown["tlb"] += tlb
+        breakdown["ept"] += ept
+        breakdown["numa"] += numa
+        breakdown["bandwidth"] += bandwidth
+        breakdown["ipi"] += ipi
+        breakdown["baseline"] += baseline
+        return compute + tlb + ept + numa + bandwidth + ipi + baseline
+
+    def _timer_cycles(self, duration: float, ctx) -> float:
+        """Housekeeping-tick cost over ``duration`` cycles."""
+        ticks = duration / HOUSEKEEPING_TICK_CYCLES
+        per_tick = self.costs.housekeeping_tick
+        if ctx is None:
+            per_tick += self.costs.native_irq_dispatch
+        else:
+            mode = next(iter(ctx.vmcs.values())).controls.vapic_mode
+            if mode is VapicMode.DISABLED:
+                per_tick += self.costs.native_irq_dispatch
+            else:
+                # The APIC timer is a hardware interrupt: it exits even
+                # under posted mode (Section IV-C).
+                per_tick += self.costs.exit_cost() + self.costs.irq_injection
+        return ticks * per_tick
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        enclave: Enclave,
+        zone_pressure: dict[int, float] | None = None,
+    ) -> WorkloadResult:
+        """Execute the workload's profile on the enclave."""
+        enclave.require_running()
+        shape = self._shape(enclave)
+        label, ctx = self._config(enclave)
+        breakdown: dict[str, float] = {
+            k: 0.0
+            for k in (
+                "compute",
+                "tlb",
+                "ept",
+                "numa",
+                "bandwidth",
+                "ipi",
+                "baseline",
+                "timer",
+            )
+        }
+        per_core = 0.0
+        for phase in workload.phases():
+            per_core += self._phase_cycles(
+                phase, workload, shape, ctx, breakdown, zone_pressure
+            )
+        # Timer cost depends on duration; one fixpoint refinement is
+        # plenty (ticks are rare by LWK design).
+        timer = self._timer_cycles(per_core, ctx)
+        timer = self._timer_cycles(per_core + timer, ctx)
+        breakdown["timer"] = timer
+        elapsed = int(per_core + timer)
+        # Time actually passes on the enclave's cores.
+        for core_id in enclave.assignment.core_ids:
+            self.machine.core(core_id).advance(elapsed)
+        from repro.hw.clock import CYCLES_PER_SECOND
+
+        seconds = elapsed / CYCLES_PER_SECOND
+        return WorkloadResult(
+            workload=workload.name,
+            config_label=label,
+            layout_label=self.layout_label(shape),
+            ncores=shape.ncores,
+            elapsed_cycles=elapsed,
+            fom=workload.figure_of_merit(seconds, shape.ncores),
+            fom_name=workload.fom_name,
+            higher_is_better=workload.higher_is_better,
+            breakdown=breakdown,
+        )
+
+    def run_concurrent(
+        self, assignments: list[tuple[Workload, Enclave]]
+    ) -> list[WorkloadResult]:
+        """Co-run workloads in separate enclaves simultaneously.
+
+        Each enclave still computes its own profile, but socket
+        bandwidth pressure aggregates the *memory-hungry* cores of every
+        co-runner sharing a zone — the cross-enclave interference that
+        hardware partitioning bounds (interference flows only through
+        the shared memory system, never through CPUs or the OS).
+        """
+        pressure: dict[int, float] = {}
+        for workload, enclave in assignments:
+            enclave.require_running()
+            shape = self._shape(enclave)
+            phases = workload.phases()
+            total = sum(p.total_cycles for p in phases) or 1.0
+            mem_frac = sum(
+                p.total_cycles * p.mem_bound_frac for p in phases
+            ) / total
+            for zone, ncores in shape.cores_by_zone.items():
+                pressure[zone] = pressure.get(zone, 0.0) + ncores * mem_frac
+        return [
+            self.run(workload, enclave, zone_pressure=pressure)
+            for workload, enclave in assignments
+        ]

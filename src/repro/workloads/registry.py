@@ -1,0 +1,51 @@
+"""Table I: the benchmark registry."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.hpcg import Hpcg
+from repro.workloads.lammps import Lammps
+from repro.workloads.minife import MiniFE
+from repro.workloads.randomaccess import RandomAccess
+from repro.workloads.selfish import SelfishDetour
+from repro.workloads.stream import Stream
+
+#: The rows of Table I, in paper order.
+BENCHMARK_TABLE: list[Workload] = [
+    SelfishDetour(),
+    Stream(),
+    RandomAccess(),
+    Hpcg(),
+    MiniFE(),
+    Lammps("lj"),
+]
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look a benchmark up by its Table-I name (or LAMMPS-<problem>)."""
+    lowered = name.lower()
+    if lowered.startswith("lammps"):
+        problem = lowered.split("-", 1)[1] if "-" in lowered else "lj"
+        return Lammps(problem)
+    for workload in BENCHMARK_TABLE:
+        if workload.name.lower() == lowered:
+            return workload
+    raise KeyError(f"no benchmark named {name!r}")
+
+
+def format_table1() -> str:
+    """Render Table I as the paper prints it."""
+    rows = [w.table_row() for w in BENCHMARK_TABLE]
+    rows[-1] = ("LAMMPS", "3 Mar 2020", "None")  # the table lists the app once
+    widths = [
+        max(len(r[i]) for r in rows + [("Benchmark Name", "Version", "Parameters")])
+        for i in range(3)
+    ]
+    header = " | ".join(
+        h.ljust(w) for h, w in zip(("Benchmark Name", "Version", "Parameters"), widths)
+    )
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows
+    )
+    return f"{header}\n{sep}\n{body}"

@@ -1,0 +1,22 @@
+"""XEMEM cross-enclave shared memory (simulated).
+
+XEMEM extends SGI/Cray XPMEM across OS/R boundaries: a process exports a
+range of its address space as a named *segment*; processes in any other
+enclave look the name up in a node-local name service and attach the
+segment into their own address space.  Attach/detach churn is the
+dominant dynamic-memory traffic in a Hobbes system and therefore the
+control path Covirt's Fig. 4 experiment measures.
+"""
+
+from repro.xemem.segment import Segment, Attachment, SegmentError
+from repro.xemem.nameservice import NameService
+from repro.xemem.api import XememService, XememHooks
+
+__all__ = [
+    "Segment",
+    "Attachment",
+    "SegmentError",
+    "NameService",
+    "XememService",
+    "XememHooks",
+]

@@ -1,0 +1,188 @@
+"""The XEMEM service: make / get / attach / detach control paths.
+
+This is the second of the two control paths (after Pisces memory
+hotplug) that the Covirt controller monitors.  The ordering discipline
+from Section IV-C is implemented literally:
+
+* **attach** — the ``pre_attach`` hooks (where Covirt maps the EPT in
+  the attaching enclave) fire *before* the page-frame list is
+  transmitted to the attaching co-kernel, so by the time the co-kernel
+  can touch the memory the nested mapping already exists;
+* **detach** — the co-kernel retires its mappings and acknowledges
+  first; only then do the ``post_detach`` hooks fire (where Covirt
+  unmaps the EPT and flushes TLBs) and only after that does the
+  operation complete toward the Hobbes resource manager.
+
+The service also carries the *buggy* forced-removal path used to
+reproduce the stale-segment crash anecdote from Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.hw.machine import Machine
+from repro.hw.memory import MemoryRegion
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.xemem.nameservice import NameService
+from repro.xemem.segment import Attachment, HOST_ENCLAVE_ID, Segment, SegmentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pisces.enclave import Enclave
+
+
+@dataclass
+class XememHooks:
+    """Covirt's (and anyone else's) interposition points."""
+
+    #: fired (attacher_enclave, region) before frame-list transmission.
+    pre_attach: list[Callable[["Enclave", MemoryRegion], None]] = field(
+        default_factory=list
+    )
+    #: fired (attacher_enclave, region) after co-kernel ack, before completion.
+    post_detach: list[Callable[["Enclave", MemoryRegion], None]] = field(
+        default_factory=list
+    )
+
+
+class XememService:
+    """Node-wide XEMEM, hosted next to the master control process."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        enclave_resolver: Callable[[int], "Enclave | None"],
+        costs: CostModel = DEFAULT_COSTS,
+    ) -> None:
+        self.machine = machine
+        self.names = NameService()
+        self.hooks = XememHooks()
+        self.costs = costs
+        self._resolve = enclave_resolver
+        #: (op, segid, cycles) log for latency studies.
+        self.op_log: list[tuple[str, int, int]] = []
+
+    # -- helpers -------------------------------------------------------
+
+    def _enclave(self, enclave_id: int) -> "Enclave | None":
+        if enclave_id == HOST_ENCLAVE_ID:
+            return None
+        enclave = self._resolve(enclave_id)
+        if enclave is None:
+            raise SegmentError(f"unknown enclave {enclave_id}")
+        return enclave
+
+    def _charge(self, enclave_id: int, core_hint: int | None, cycles: int) -> None:
+        """Account control-path latency to the calling core's TSC."""
+        if core_hint is not None:
+            self.machine.core(core_hint).advance(cycles)
+
+    # -- control paths -------------------------------------------------
+
+    def make(
+        self,
+        owner_enclave_id: int,
+        name: str,
+        start: int,
+        size: int,
+        *,
+        core_hint: int | None = None,
+    ) -> Segment:
+        """Export [start, +size) from the owner's memory as ``name``."""
+        owner = self._enclave(owner_enclave_id)
+        if owner is not None and not owner.assignment.owns_addr(start):
+            raise SegmentError(
+                f"enclave {owner_enclave_id} does not own {start:#x}"
+            )
+        segment = Segment(
+            self.names.allocate_segid(), name, owner_enclave_id, start, size
+        )
+        self.names.register(segment)
+        self._charge(owner_enclave_id, core_hint, self.costs.xemem_control_rtt)
+        self.op_log.append(("make", segment.segid, self.costs.xemem_control_rtt))
+        return segment
+
+    def get(self, name: str, *, core_hint: int | None = None) -> int:
+        """Name-service lookup → segid."""
+        segment = self.names.lookup(name)
+        if core_hint is not None:
+            self.machine.core(core_hint).advance(self.costs.xemem_control_rtt // 2)
+        return segment.segid
+
+    def attach(
+        self, attacher_enclave_id: int, segid: int, *, core_hint: int | None = None
+    ) -> Attachment:
+        """Attach a segment into an enclave's address space."""
+        segment = self.names.by_segid(segid)
+        attacher = self._enclave(attacher_enclave_id)
+        covirt = bool(attacher is not None and attacher.virt_context is not None)
+        region = segment.region
+        if attacher is not None:
+            # 1. Hooks first: under Covirt, the EPT mapping now exists.
+            for hook in self.hooks.pre_attach:
+                hook(attacher, region)
+            # 2. Transmit the page-frame list to the attaching co-kernel,
+            #    which installs it in its memory map and page tables.
+            assert attacher.kernel is not None
+            attacher.kernel.map_shared(region)
+        attachment = segment.attach_for(attacher_enclave_id)
+        cycles = self.costs.xemem_attach_cycles(segment.size, covirt=covirt)
+        self._charge(attacher_enclave_id, core_hint, cycles)
+        self.op_log.append(("attach", segid, cycles))
+        return attachment
+
+    def detach(
+        self, attacher_enclave_id: int, segid: int, *, core_hint: int | None = None
+    ) -> None:
+        """Detach; the co-kernel acks before the hypervisor unmaps."""
+        segment = self.names.by_segid(segid)
+        attacher = self._enclave(attacher_enclave_id)
+        covirt = bool(attacher is not None and attacher.virt_context is not None)
+        region = segment.region
+        num_cores = len(attacher.assignment.core_ids) if attacher is not None else 0
+        if attacher is not None:
+            # 1. Co-kernel retires its mappings and acknowledges.
+            assert attacher.kernel is not None
+            attacher.kernel.unmap_shared(region)
+            # 2. Only then: Covirt unmap + flush.
+            for hook in self.hooks.post_detach:
+                hook(attacher, region)
+        segment.detach_for(attacher_enclave_id)
+        cycles = self.costs.xemem_detach_cycles(
+            segment.size, covirt=covirt, num_cores=num_cores
+        )
+        self._charge(attacher_enclave_id, core_hint, cycles)
+        self.op_log.append(("detach", segid, cycles))
+
+    def remove(self, segid: int) -> None:
+        """Owner destroys a segment; all attachments must be gone."""
+        segment = self.names.by_segid(segid)
+        if segment.attachments:
+            raise SegmentError(
+                f"segment {segid:#x} still attached by "
+                f"{sorted(segment.attachments)}"
+            )
+        self.names.unregister(segid)
+
+    def force_remove_buggy(self, segid: int) -> list[int]:
+        """The Section-V bug: the host reclaims a segment while remote
+        attachments still exist, and the cleanup path never tells the
+        attaching co-kernels.
+
+        The *hypervisor-side* bookkeeping is done correctly (the
+        ``post_detach`` hooks fire — Covirt's controller sits on the
+        reclaim path itself), but the co-kernels' memory maps retain the
+        stale range.  Returns the enclave ids left holding stale state.
+        """
+        segment = self.names.by_segid(segid)
+        stale: list[int] = []
+        for enclave_id in list(segment.attachments):
+            attacher = self._enclave(enclave_id)
+            if attacher is not None:
+                for hook in self.hooks.post_detach:
+                    hook(attacher, segment.region)
+                stale.append(enclave_id)
+            segment.detach_for(enclave_id)
+        self.names.unregister(segid)
+        return stale

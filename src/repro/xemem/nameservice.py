@@ -1,0 +1,67 @@
+"""The node-local XEMEM name service.
+
+XEMEM provides a global view of shared memory through segment IDs
+managed across the entire system by a node-local name service; this is
+it.  It runs in the host OS/R alongside the master control process.
+"""
+
+from __future__ import annotations
+
+from repro.xemem.segment import Segment, SegmentError
+
+
+class NameService:
+    """name → segment registry with segid allocation."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Segment] = {}
+        self._by_segid: dict[int, Segment] = {}
+        self._next_segid = 0x1000
+
+    def __len__(self) -> int:
+        return len(self._by_segid)
+
+    def allocate_segid(self) -> int:
+        segid = self._next_segid
+        self._next_segid += 1
+        return segid
+
+    def register(self, segment: Segment) -> None:
+        if segment.name in self._by_name:
+            raise SegmentError(f"segment name {segment.name!r} already exists")
+        if segment.segid in self._by_segid:
+            raise SegmentError(f"segid {segment.segid:#x} already exists")
+        self._by_name[segment.name] = segment
+        self._by_segid[segment.segid] = segment
+
+    def lookup(self, name: str) -> Segment:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SegmentError(f"no segment named {name!r}") from None
+
+    def by_segid(self, segid: int) -> Segment:
+        try:
+            return self._by_segid[segid]
+        except KeyError:
+            raise SegmentError(f"no segment {segid:#x}") from None
+
+    def unregister(self, segid: int) -> Segment:
+        segment = self.by_segid(segid)
+        del self._by_segid[segid]
+        del self._by_name[segment.name]
+        segment.alive = False
+        return segment
+
+    def segments(self) -> list[Segment]:
+        return list(self._by_segid.values())
+
+    def segments_owned_by(self, enclave_id: int) -> list[Segment]:
+        return [
+            s for s in self._by_segid.values() if s.owner_enclave_id == enclave_id
+        ]
+
+    def segments_attached_by(self, enclave_id: int) -> list[Segment]:
+        return [
+            s for s in self._by_segid.values() if enclave_id in s.attachments
+        ]

@@ -1,0 +1,76 @@
+"""XEMEM segments and attachments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.memory import MemoryRegion, is_page_aligned
+
+#: Enclave id used for the host OS/R in XEMEM bookkeeping.
+HOST_ENCLAVE_ID = 0
+
+
+class SegmentError(Exception):
+    """XEMEM control-path failure."""
+
+
+@dataclass
+class Attachment:
+    """One enclave's attachment of a segment."""
+
+    segid: int
+    enclave_id: int
+    #: Address at which the attacher sees the memory.  Identity in our
+    #: co-kernel world: shared physical frames appear at their physical
+    #: addresses, which is what makes zero-copy (and zero-abstraction
+    #: virtualization) possible.
+    local_addr: int
+
+    def covers(self, addr: int, length: int, size: int) -> bool:
+        return self.local_addr <= addr and addr + length <= self.local_addr + size
+
+
+@dataclass
+class Segment:
+    """An exported shared-memory segment."""
+
+    segid: int
+    name: str
+    owner_enclave_id: int
+    start: int
+    size: int
+    attachments: dict[int, Attachment] = field(default_factory=dict)
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or not is_page_aligned(self.start) or not is_page_aligned(self.size):
+            raise SegmentError(
+                f"segment [{self.start:#x},+{self.size:#x}) must be page aligned"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    @property
+    def region(self) -> MemoryRegion:
+        return MemoryRegion(self.start, self.size)
+
+    def attach_for(self, enclave_id: int) -> Attachment:
+        if not self.alive:
+            raise SegmentError(f"segment {self.segid} has been removed")
+        if enclave_id in self.attachments:
+            raise SegmentError(
+                f"enclave {enclave_id} already attached to segment {self.segid}"
+            )
+        attachment = Attachment(self.segid, enclave_id, self.start)
+        self.attachments[enclave_id] = attachment
+        return attachment
+
+    def detach_for(self, enclave_id: int) -> Attachment:
+        try:
+            return self.attachments.pop(enclave_id)
+        except KeyError:
+            raise SegmentError(
+                f"enclave {enclave_id} not attached to segment {self.segid}"
+            ) from None

@@ -1,0 +1,93 @@
+"""Covirt boot parameters: structure, memory round trip, live layout."""
+
+import pytest
+
+from repro.core.bootparams import COVIRT_PARAMS_MAGIC, CovirtBootParams
+from repro.core.controller import PRIVATE_PAGES_PER_CORE
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+
+GiB = 1 << 30
+
+
+class TestStructure:
+    def test_memory_roundtrip(self):
+        memory = PhysicalMemory(16 * PAGE_SIZE)
+        params = CovirtBootParams(
+            core_id=3,
+            pisces_params_addr=0x11000,
+            command_queue_addr=0x12000,
+            stack_addr=0x14000,
+            feature_bits=0b10111,
+        )
+        params.write_to(memory, 0x3000)
+        clone = CovirtBootParams.read_from(memory, 0x3000)
+        assert clone == params
+
+    def test_bad_magic_rejected(self):
+        memory = PhysicalMemory(16 * PAGE_SIZE)
+        memory.write_u64(0x3000, 0xDEAD)
+        with pytest.raises(ValueError):
+            CovirtBootParams.read_from(memory, 0x3000)
+
+    def test_magic_value(self):
+        assert COVIRT_PARAMS_MAGIC == 0xC0B1_2021
+
+
+class TestLiveLayout:
+    """The structure as actually written during a protected boot."""
+
+    @pytest.fixture
+    def booted(self):
+        env = CovirtEnvironment()
+        enclave = env.launch(
+            Layout("2c/2n", {0: 1, 1: 1}, {0: GiB, 1: GiB}),
+            CovirtConfig.full(),
+        )
+        return env, enclave
+
+    def test_per_core_params_in_private_memory(self, booted):
+        env, enclave = booted
+        ctx = enclave.virt_context
+        for idx, core_id in enumerate(enclave.assignment.core_ids):
+            base = (
+                ctx.private_region.start
+                + idx * PRIVATE_PAGES_PER_CORE * PAGE_SIZE
+            )
+            params = CovirtBootParams.read_from(
+                env.machine.memory, base + PAGE_SIZE
+            )
+            assert params.core_id == core_id
+            assert params.command_queue_addr == base
+            assert params.stack_addr == base + 2 * PAGE_SIZE
+            assert params.feature_bits == ctx.config.features.value
+
+    def test_wraps_unmodified_pisces_params(self, booted):
+        """The co-kernel receives the original Pisces structure."""
+        env, enclave = booted
+        ctx = enclave.virt_context
+        base = ctx.private_region.start
+        params = CovirtBootParams.read_from(env.machine.memory, base + PAGE_SIZE)
+        from repro.pisces.bootparams import PiscesBootParams
+
+        pisces = PiscesBootParams.read_from(
+            env.machine.memory, params.pisces_params_addr
+        )
+        assert pisces.enclave_id == enclave.enclave_id
+        assert pisces.core_ids == enclave.assignment.core_ids
+
+    def test_guest_cannot_reach_covirt_params(self, booted):
+        """The wrapper structure lives outside the EPT."""
+        env, enclave = booted
+        ctx = enclave.virt_context
+        assert not ctx.ept.table.is_mapped(ctx.private_region.start + PAGE_SIZE)
+
+    def test_stack_is_8k(self, booted):
+        from repro.core.hypervisor import HYPERVISOR_STACK_BYTES
+
+        assert HYPERVISOR_STACK_BYTES == 8 * 1024
+        # 2 pages reserved per core for the stack in the private layout.
+        assert PRIVATE_PAGES_PER_CORE * PAGE_SIZE >= (
+            2 * PAGE_SIZE + HYPERVISOR_STACK_BYTES
+        )

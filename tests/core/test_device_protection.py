@@ -1,0 +1,72 @@
+"""Device MMIO protection: the NIC-ring corruption scenario."""
+
+import pytest
+
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.pisces.enclave import EnclaveState
+
+GiB = 1 << 30
+LAYOUT = Layout("2c/2n", {0: 1, 1: 1}, {0: GiB, 1: GiB})
+
+
+@pytest.fixture
+def env():
+    return CovirtEnvironment()
+
+
+class TestNicDevice:
+    def test_nic_works_at_boot(self, env):
+        nic = env.host.nic
+        assert nic.check_ring_integrity()
+        assert nic.transmit(1500)
+        assert nic.receive()
+        assert nic.stats.tx_packets == 1
+
+    def test_mmio_window_never_offlined_into_enclaves(self, env):
+        """Enclave creation can never be handed the device window."""
+        enclave = env.launch(LAYOUT, None)
+        for region in enclave.assignment.regions:
+            assert not region.overlaps(env.host.nic.window)
+
+    def test_window_excluded_from_enclave_epts(self, env):
+        enclave = env.launch(LAYOUT, CovirtConfig.memory_only())
+        ctx = enclave.virt_context
+        assert not ctx.ept.table.is_mapped(env.host.nic.window.start)
+
+
+class TestMmioCorruption:
+    def test_native_enclave_breaks_the_hosts_nic(self, env):
+        """Without Covirt, a single stray co-kernel write kills a device
+        the *host* depends on."""
+        enclave = env.launch(LAYOUT, None)
+        bsp = enclave.assignment.core_ids[0]
+        nic = env.host.nic
+        assert nic.transmit(64)
+        # A wild pointer lands in the TX descriptor ring.
+        enclave.port.write(bsp, nic.window.start + 8, b"\xff" * 16)
+        assert not nic.transmit(64)  # driver detects corrupt rings
+        assert nic.stats.ring_errors > 0
+        assert enclave.state is EnclaveState.RUNNING  # nothing stopped it
+
+    def test_covirt_contains_the_same_bug(self, env):
+        enclave = env.launch(LAYOUT, CovirtConfig.memory_only())
+        bsp = enclave.assignment.core_ids[0]
+        nic = env.host.nic
+        with pytest.raises(EnclaveFaultError):
+            enclave.port.write(bsp, nic.window.start + 8, b"\xff" * 16)
+        assert enclave.state is EnclaveState.FAILED
+        assert nic.check_ring_integrity()  # the device never saw it
+        assert nic.transmit(64)
+
+    def test_nic_survives_many_contained_attacks(self, env):
+        nic = env.host.nic
+        for i in range(3):
+            attacker = env.launch(LAYOUT, CovirtConfig.memory_only(), f"a{i}")
+            with pytest.raises(EnclaveFaultError):
+                attacker.port.write(
+                    attacker.assignment.core_ids[0], nic.window.start, b"\x00" * 8
+                )
+        assert nic.check_ring_integrity()
+        assert env.host.is_pristine()

@@ -1,0 +1,140 @@
+"""Covirt feature configuration and the shared-memory command queue."""
+
+import pytest
+
+from repro.core.commands import (
+    Command,
+    CommandQueue,
+    CommandType,
+    QueueFull,
+    SLOT_SIZE,
+)
+from repro.core.features import CovirtConfig, EVALUATION_CONFIGS, Feature, IpiMode
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+
+
+class TestFeatures:
+    def test_none_has_nothing(self):
+        config = CovirtConfig.none()
+        assert not config.has(Feature.MEMORY)
+        assert not config.has(Feature.IPI)
+
+    def test_memory_only_includes_exceptions(self):
+        config = CovirtConfig.memory_only()
+        assert config.has(Feature.MEMORY)
+        assert config.has(Feature.EXCEPTIONS)
+        assert not config.has(Feature.IPI)
+
+    def test_full(self):
+        config = CovirtConfig.full()
+        for feature in (Feature.MEMORY, Feature.IPI, Feature.MSR, Feature.IOPORT):
+            assert config.has(feature)
+
+    def test_auto_ipi_mode_follows_hardware(self):
+        assert CovirtConfig(hw_has_posted_interrupts=True).effective_ipi_mode is (
+            IpiMode.POSTED
+        )
+        assert CovirtConfig(hw_has_posted_interrupts=False).effective_ipi_mode is (
+            IpiMode.TRAP
+        )
+
+    def test_posted_downgrades_without_hardware(self):
+        config = CovirtConfig(
+            ipi_mode=IpiMode.POSTED, hw_has_posted_interrupts=False
+        )
+        assert config.effective_ipi_mode is IpiMode.TRAP
+
+    def test_trap_honored(self):
+        config = CovirtConfig(ipi_mode=IpiMode.TRAP)
+        assert config.effective_ipi_mode is IpiMode.TRAP
+
+    def test_labels(self):
+        assert CovirtConfig.none().label() == "covirt-none"
+        assert CovirtConfig.memory_only().label() == "covirt-mem"
+        assert CovirtConfig.memory_ipi().label() == "covirt-mem+ipi"
+
+    def test_evaluation_sweep_shape(self):
+        labels = [label for label, _ in EVALUATION_CONFIGS]
+        assert labels == ["native", "covirt-none", "covirt-mem", "covirt-mem+ipi"]
+        assert EVALUATION_CONFIGS[0][1] is None
+
+
+@pytest.fixture
+def queue():
+    memory = PhysicalMemory(4 * PAGE_SIZE)
+    return CommandQueue(memory, 0, capacity=4), memory
+
+
+class TestCommandQueue:
+    def test_enqueue_dequeue_fifo(self, queue):
+        q, _ = queue
+        q.enqueue(CommandType.PING)
+        q.enqueue(CommandType.MEMORY_UPDATE, arg0=7)
+        first = q.dequeue()
+        second = q.dequeue()
+        assert first.type is CommandType.PING
+        assert second.type is CommandType.MEMORY_UPDATE
+        assert second.arg0 == 7
+        assert q.dequeue() is None
+
+    def test_pending_count(self, queue):
+        q, _ = queue
+        assert q.pending() == 0
+        q.enqueue(CommandType.PING)
+        assert q.pending() == 1
+        q.dequeue()
+        assert q.pending() == 0
+
+    def test_queue_full(self, queue):
+        q, _ = queue
+        for _ in range(4):
+            q.enqueue(CommandType.PING)
+        with pytest.raises(QueueFull):
+            q.enqueue(CommandType.PING)
+
+    def test_completion_flag_roundtrip(self, queue):
+        q, _ = queue
+        cmd = q.enqueue(CommandType.MEMORY_UPDATE)
+        assert not q.is_completed(cmd)
+        consumed = q.dequeue()
+        q.mark_completed(consumed)
+        assert q.is_completed(cmd)
+
+    def test_wraparound(self, queue):
+        q, _ = queue
+        for i in range(10):  # capacity is 4: forces wrap
+            cmd = q.enqueue(CommandType.PING)
+            got = q.dequeue()
+            assert got.seq == cmd.seq
+            q.mark_completed(got)
+
+    def test_state_lives_in_physical_memory(self, queue):
+        """The ring is real memory: a second view over the same bytes
+        sees the same commands (the controller/hypervisor share it)."""
+        q, memory = queue
+        q.enqueue(CommandType.TERMINATE, arg0=99)
+        mirror = CommandQueue.__new__(CommandQueue)
+        mirror.memory = memory
+        mirror.base = 0
+        mirror.capacity = 4
+        mirror._seq = 0
+        cmd = mirror.dequeue()
+        assert cmd.type is CommandType.TERMINATE
+        assert cmd.arg0 == 99
+
+    def test_pack_unpack_roundtrip(self):
+        cmd = Command(CommandType.VMCS_RELOAD, seq=5, arg0=1, arg1=2)
+        packed = cmd.pack(completed=True)
+        assert len(packed) == SLOT_SIZE
+        clone, completed = Command.unpack(packed)
+        assert clone == cmd
+        assert completed
+
+    def test_corrupt_slot_detected(self):
+        with pytest.raises(ValueError):
+            Command.unpack(b"\x00" * SLOT_SIZE)
+
+    def test_must_fit_one_page(self):
+        memory = PhysicalMemory(4 * PAGE_SIZE)
+        with pytest.raises(ValueError):
+            CommandQueue(memory, 0, capacity=100)

@@ -1,0 +1,142 @@
+"""Local APIC and IPI routing through the machine fabric."""
+
+import pytest
+
+from repro.hw.apic import DeliveryMode, IpiMessage, LocalApic
+from repro.hw.interrupts import Interrupt, InterruptKind, NMI_VECTOR
+from repro.hw.machine import Machine, MachineConfig
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig.small())
+
+
+class TestIpiMessage:
+    def test_fixed_mode_vector_range(self):
+        with pytest.raises(ValueError):
+            IpiMessage(0, 1, 5)  # exception-range vector
+        with pytest.raises(ValueError):
+            IpiMessage(0, 1, 256)
+        IpiMessage(0, 1, 48)  # fine
+
+    def test_nmi_mode_ignores_vector_range(self):
+        msg = IpiMessage(0, 1, 2, DeliveryMode.NMI)
+        irq = msg.as_interrupt()
+        assert irq.kind is InterruptKind.NMI
+        assert irq.vector == NMI_VECTOR
+        assert irq.source_core == 0
+
+    def test_fixed_as_interrupt(self):
+        irq = IpiMessage(2, 3, 100).as_interrupt()
+        assert irq.kind is InterruptKind.IPI
+        assert irq.vector == 100
+
+
+class TestDelivery:
+    def test_route_ipi_delivers_to_dest_apic(self, machine):
+        machine.core(0).apic.write_icr(1, 64)
+        target = machine.core(1).apic
+        assert 64 in target.pending
+        assert target.stats.ipis_received == 1
+        assert machine.core(0).apic.stats.ipis_sent == 1
+
+    def test_misrouted_ipi_recorded_not_crashing(self, machine):
+        ok = machine.route_ipi(IpiMessage(0, 99, 64))
+        assert not ok
+        assert len(machine.misrouted_ipis) == 1
+
+    def test_delivery_hook_invoked(self, machine):
+        seen = []
+        machine.core(1).apic.delivery_hook = seen.append
+        machine.core(0).apic.write_icr(1, 77)
+        assert len(seen) == 1
+        assert seen[0].vector == 77
+
+    def test_nmi_sets_pending_flag(self, machine):
+        machine.core(0).apic.write_icr(1, 2, DeliveryMode.NMI)
+        target = machine.core(1).apic
+        assert target.nmi_pending
+        assert target.stats.nmis_received == 1
+        target.ack_nmi()
+        assert not target.nmi_pending
+
+    def test_ack_clears_pending(self, machine):
+        machine.core(0).apic.write_icr(1, 64)
+        machine.core(1).apic.ack(64)
+        assert 64 not in machine.core(1).apic.pending
+
+    def test_unattached_apic_rejects_send(self):
+        apic = LocalApic(0)
+        with pytest.raises(RuntimeError):
+            apic.write_icr(1, 64)
+
+    def test_broadcast(self, machine):
+        sent = machine.broadcast_ipi(IpiMessage(0, 0, 99))
+        assert sent == machine.num_cores - 1
+        for core in machine.cores[1:]:
+            assert 99 in core.apic.pending
+        assert 99 not in machine.core(0).apic.pending
+
+
+class TestTimer:
+    def test_masked_by_default(self, machine):
+        apic = machine.core(0).apic
+        assert apic.timer_ticks_during(10**9) == 0
+
+    def test_tick_counting(self, machine):
+        apic = machine.core(0).apic
+        apic.configure_timer(1000)
+        assert apic.timer_ticks_during(10_500) == 10
+
+    def test_bad_period_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.core(0).apic.configure_timer(0)
+
+    def test_timer_delivery_counts_separately(self, machine):
+        apic = machine.core(0).apic
+        apic.deliver(Interrupt(48, InterruptKind.TIMER))
+        assert apic.stats.timer_ticks == 1
+        assert apic.stats.ipis_received == 0
+
+
+class TestMachine:
+    def test_paper_testbed_shape(self):
+        machine = Machine(MachineConfig.paper_testbed())
+        assert machine.num_cores == 12
+        assert machine.topology.num_zones == 2
+        assert machine.memory.size == 64 << 30
+
+    def test_cores_wired(self, machine):
+        for core in machine.cores:
+            assert core.apic is not None
+            assert core.msrs is not None
+            assert core.tlb is not None
+
+    def test_elapse_advances_idle_cores(self, machine):
+        machine.elapse(5000)
+        assert machine.clock.now == 5000
+        for core in machine.cores:
+            assert core.read_tsc() >= 5000
+
+    def test_elapse_fires_events(self, machine):
+        fired = []
+        machine.events.schedule(100, lambda: fired.append(machine.clock.now))
+        machine.elapse(200)
+        assert fired == [100]
+
+    def test_core_lookup_bounds(self, machine):
+        with pytest.raises(KeyError):
+            machine.core(machine.num_cores)
+
+    def test_cores_in_zone(self, machine):
+        zone0 = machine.cores_in_zone(0)
+        assert all(c.zone == 0 for c in zone0)
+        assert len(zone0) == machine.config.cores_per_zone
+
+    def test_reset(self, machine):
+        machine.core(0).apic.write_icr(1, 64)
+        machine.core(0).mode = None  # will be reset
+        machine.reset()
+        assert machine.core(1).apic.pending == set()
+        assert machine.misrouted_ipis == []

@@ -1,0 +1,142 @@
+"""Clock and event-queue behaviour."""
+
+import pytest
+
+from repro.hw.clock import (
+    CYCLES_PER_US,
+    Clock,
+    EventQueue,
+    cycles_to_us,
+    us_to_cycles,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0
+
+    def test_advance_returns_new_time(self):
+        clock = Clock()
+        assert clock.advance(100) == 100
+        assert clock.now == 100
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(10)
+        clock.advance(15)
+        assert clock.now == 25
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(start=-5)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = Clock(start=100)
+        clock.advance_to(50)
+        assert clock.now == 100
+        clock.advance_to(200)
+        assert clock.now == 200
+
+    def test_float_cycles_truncate(self):
+        clock = Clock()
+        clock.advance(10.9)
+        assert clock.now == 10
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert us_to_cycles(cycles_to_us(1_700_000)) == 1_700_000
+
+    def test_one_us(self):
+        assert us_to_cycles(1) == CYCLES_PER_US
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(30, lambda: fired.append("c"))
+        queue.schedule(10, lambda: fired.append("a"))
+        queue.schedule(20, lambda: fired.append("b"))
+        queue.run_until(100)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_in_scheduling_order(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(10, lambda: fired.append(1))
+        queue.schedule(10, lambda: fired.append(2))
+        queue.run_until(10)
+        assert fired == [1, 2]
+
+    def test_clock_advances_to_each_event(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        seen = []
+        queue.schedule(25, lambda: seen.append(clock.now))
+        queue.run_until(100)
+        assert seen == [25]
+        assert clock.now == 100
+
+    def test_run_until_respects_deadline(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(50, lambda: fired.append("late"))
+        assert queue.run_until(49) == 0
+        assert fired == []
+        assert len(queue) == 1
+
+    def test_cancel(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        event = queue.schedule(10, lambda: fired.append("x"))
+        EventQueue.cancel(event)
+        queue.run_until(100)
+        assert fired == []
+        assert len(queue) == 0
+
+    def test_cannot_schedule_in_past(self):
+        clock = Clock(start=100)
+        queue = EventQueue(clock)
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule_at(50, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+
+        def chain():
+            fired.append(clock.now)
+            if len(fired) < 3:
+                queue.schedule(10, chain)
+
+        queue.schedule(10, chain)
+        queue.run_until(100)
+        assert fired == [10, 20, 30]
+
+    def test_run_next(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule(10, lambda: fired.append(1))
+        assert queue.run_next() is True
+        assert fired == [1]
+        assert queue.run_next() is False
+
+    def test_next_deadline(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        assert queue.next_deadline() is None
+        queue.schedule(42, lambda: None)
+        assert queue.next_deadline() == 42

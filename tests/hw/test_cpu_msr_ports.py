@@ -1,0 +1,160 @@
+"""Core, MSR file, and I/O port space behaviour."""
+
+import pytest
+
+from repro.hw.cpu import Core, CpuMode, host_cpuid
+from repro.hw.ioports import HOST_OWNED_PORTS, IoPortError, IoPortSpace, SERIAL_COM1
+from repro.hw.msr import MSR, MsrAccessError, MsrFile, SENSITIVE_MSRS
+
+
+class TestCore:
+    def test_initial_state(self):
+        core = Core(3, zone=1)
+        assert core.core_id == 3
+        assert core.zone == 1
+        assert core.mode is CpuMode.HOST
+        assert core.read_tsc() == 0
+        assert not core.halted
+
+    def test_advance_and_tsc(self):
+        core = Core(0, 0)
+        core.advance(1_000)
+        core.advance(500)
+        assert core.read_tsc() == 1_500
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Core(0, 0).advance(-1)
+
+    def test_sync_tsc_never_backwards(self):
+        core = Core(0, 0)
+        core.advance(1000)
+        core.sync_tsc(500)
+        assert core.read_tsc() == 1000
+        core.sync_tsc(2000)
+        assert core.read_tsc() == 2000
+
+    def test_halt_resume(self):
+        core = Core(0, 0)
+        core.halt()
+        assert core.halted
+        core.resume()
+        assert not core.halted
+
+    def test_reset_preserves_tsc_clears_state(self):
+        core = Core(0, 0)
+        core.advance(100)
+        core.mode = CpuMode.GUEST
+        core.halt()
+        core.context = object()
+        core.reset()
+        assert core.mode is CpuMode.HOST
+        assert not core.halted
+        assert core.context is None
+        # TSC is monotonic across warm resets on real parts.
+        assert core.read_tsc() == 100
+
+
+class TestHostCpuid:
+    def test_vendor_leaf(self):
+        eax, ebx, ecx, edx = host_cpuid(0, 0)
+        assert ebx == 0x756E_6547  # "Genu"
+
+    def test_apic_id_varies_by_core(self):
+        _, ebx0, _, _ = host_cpuid(1, 0)
+        _, ebx5, _, _ = host_cpuid(1, 5)
+        assert ebx0 >> 24 == 0
+        assert ebx5 >> 24 == 5
+
+    def test_unknown_leaf_zeroes(self):
+        assert host_cpuid(0x7F, 0) == (0, 0, 0, 0)
+
+
+class TestMsrFile:
+    def test_architectural_defaults(self):
+        msrs = MsrFile(0)
+        assert msrs.read(MSR.IA32_EFER) & 0x400  # LMA
+        assert msrs.read(MSR.IA32_APIC_BASE) != 0
+
+    def test_write_read_roundtrip(self):
+        msrs = MsrFile(0)
+        msrs.write(MSR.IA32_LSTAR, 0xFFFF8000_00001000)
+        assert msrs.read(MSR.IA32_LSTAR) == 0xFFFF8000_00001000
+
+    def test_unknown_msr_reads_zero(self):
+        assert MsrFile(0).read(0x9999) == 0
+
+    def test_access_log(self):
+        msrs = MsrFile(0)
+        msrs.write(MSR.IA32_FS_BASE, 42)
+        msrs.read(MSR.IA32_FS_BASE)
+        assert len(msrs.access_log) == 2
+        assert msrs.access_log[0].is_write
+        assert not msrs.access_log[1].is_write
+
+    def test_rejects_bad_index_and_value(self):
+        msrs = MsrFile(0)
+        with pytest.raises(MsrAccessError):
+            msrs.read(-1)
+        with pytest.raises(MsrAccessError):
+            msrs.write(0x10, 1 << 64)
+
+    def test_sensitive_set_contents(self):
+        assert MSR.IA32_APIC_BASE in SENSITIVE_MSRS
+        assert MSR.IA32_FS_BASE not in SENSITIVE_MSRS
+
+    def test_peek_does_not_log(self):
+        msrs = MsrFile(0)
+        msrs.peek(MSR.IA32_EFER)
+        assert msrs.access_log == []
+
+    def test_reset(self):
+        msrs = MsrFile(0)
+        msrs.write(MSR.IA32_LSTAR, 7)
+        msrs.reset()
+        assert msrs.peek(MSR.IA32_LSTAR) == 0
+        assert msrs.access_log == []
+
+
+class TestIoPortSpace:
+    def test_floating_bus_reads_high(self):
+        assert IoPortSpace().read(0x5000) == 0xFF
+
+    def test_latched_write_read(self):
+        ports = IoPortSpace()
+        ports.write(0x80, 0xAB)
+        assert ports.read(0x80) == 0xAB
+
+    def test_device_handler(self):
+        ports = IoPortSpace()
+        state = {"value": 0x42}
+
+        def handler(value, is_write, core):
+            if is_write:
+                state["value"] = value
+            return state["value"]
+
+        ports.register_device(SERIAL_COM1, handler)
+        assert ports.read(SERIAL_COM1) == 0x42
+        ports.write(SERIAL_COM1, 0x55)
+        assert ports.read(SERIAL_COM1) == 0x55
+
+    def test_out_of_range_port(self):
+        ports = IoPortSpace()
+        with pytest.raises(IoPortError):
+            ports.read(0x10000)
+        with pytest.raises(IoPortError):
+            ports.write(-1, 0)
+
+    def test_too_wide_value(self):
+        with pytest.raises(IoPortError):
+            IoPortSpace().write(0x80, 1 << 32)
+
+    def test_access_log_records_core(self):
+        ports = IoPortSpace()
+        ports.write(0x80, 1, core_id=3)
+        assert ports.access_log[-1].core_id == 3
+
+    def test_host_owned_ports_include_platform_devices(self):
+        assert SERIAL_COM1 in HOST_OWNED_PORTS
+        assert 0x70 in HOST_OWNED_PORTS  # RTC

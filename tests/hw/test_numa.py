@@ -1,0 +1,78 @@
+"""NUMA topology."""
+
+import pytest
+
+from repro.hw.numa import LOCAL_DISTANCE, REMOTE_DISTANCE, NumaTopology, NumaZone
+
+GiB = 1 << 30
+
+
+class TestNumaZone:
+    def test_window(self):
+        zone = NumaZone(0, 0, GiB, (0, 1))
+        assert zone.window == (0, GiB)
+        assert zone.contains_addr(0)
+        assert not zone.contains_addr(GiB)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            NumaZone(0, 100, GiB, (0,))
+        with pytest.raises(ValueError):
+            NumaZone(0, 0, GiB + 5, (0,))
+
+
+class TestNumaTopology:
+    def test_symmetric_construction(self):
+        topo = NumaTopology.symmetric(2, 6, GiB)
+        assert topo.num_zones == 2
+        assert topo.num_cores == 12
+        assert topo.total_memory == 2 * GiB
+        assert topo.zones[1].core_ids == tuple(range(6, 12))
+
+    def test_zone_of_core(self):
+        topo = NumaTopology.symmetric(2, 6, GiB)
+        assert topo.zone_of_core(0) == 0
+        assert topo.zone_of_core(11) == 1
+        with pytest.raises(KeyError):
+            topo.zone_of_core(12)
+
+    def test_zone_of_addr(self):
+        topo = NumaTopology.symmetric(2, 2, GiB)
+        assert topo.zone_of_addr(0) == 0
+        assert topo.zone_of_addr(GiB) == 1
+        with pytest.raises(KeyError):
+            topo.zone_of_addr(2 * GiB)
+
+    def test_distances(self):
+        topo = NumaTopology.symmetric(2, 2, GiB)
+        assert topo.distance(0, 0) == LOCAL_DISTANCE
+        assert topo.distance(0, 1) == REMOTE_DISTANCE
+        with pytest.raises(KeyError):
+            topo.distance(0, 2)
+
+    def test_is_local(self):
+        topo = NumaTopology.symmetric(2, 2, GiB)
+        assert topo.is_local(0, 100)
+        assert not topo.is_local(0, GiB + 100)
+        assert topo.is_local(2, GiB + 100)
+
+    def test_rejects_duplicate_cores(self):
+        zones = [
+            NumaZone(0, 0, GiB, (0, 1)),
+            NumaZone(1, GiB, GiB, (1, 2)),
+        ]
+        with pytest.raises(ValueError):
+            NumaTopology(zones)
+
+    def test_rejects_sparse_zone_ids(self):
+        zones = [NumaZone(1, 0, GiB, (0,))]
+        with pytest.raises(ValueError):
+            NumaTopology(zones)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NumaTopology([])
+
+    def test_all_core_ids_sorted(self):
+        topo = NumaTopology.symmetric(3, 2, GiB)
+        assert topo.all_core_ids == list(range(6))

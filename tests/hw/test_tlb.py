@@ -1,0 +1,122 @@
+"""TLB: functional caching semantics and the analytic miss model."""
+
+import pytest
+
+from repro.hw.memory import PAGE_SIZE, PAGE_SIZE_1G, PAGE_SIZE_2M
+from repro.hw.tlb import AccessPattern, Tlb, TlbEntry, estimate_miss_rate
+
+
+def entry(page: int, size: int = PAGE_SIZE) -> TlbEntry:
+    return TlbEntry(virt_page=page * size, phys_page=page * size, page_size=size)
+
+
+class TestTlbFunctional:
+    def test_miss_then_hit(self):
+        tlb = Tlb(capacity=8)
+        assert tlb.lookup(0x1000) is None
+        tlb.insert(entry(1))
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.lookup(0x1FFF) is not None  # same page
+        assert tlb.stats.hits == 2
+        assert tlb.stats.misses == 1
+
+    def test_large_page_entry_covers_range(self):
+        tlb = Tlb()
+        tlb.insert(TlbEntry(0, 0, PAGE_SIZE_2M))
+        assert tlb.lookup(PAGE_SIZE_2M - 1) is not None
+        assert tlb.lookup(PAGE_SIZE_2M) is None
+
+    def test_lru_eviction(self):
+        tlb = Tlb(capacity=2)
+        tlb.insert(entry(1))
+        tlb.insert(entry(2))
+        tlb.lookup(0x1000)  # touch page 1 → page 2 becomes LRU
+        tlb.insert(entry(3))
+        assert tlb.contains_translation_for(0x1000)
+        assert not tlb.contains_translation_for(0x2000)
+        assert tlb.contains_translation_for(0x3000)
+
+    def test_flush_all(self):
+        tlb = Tlb()
+        tlb.insert(entry(1))
+        tlb.flush_all()
+        assert len(tlb) == 0
+        assert tlb.stats.flushes == 1
+
+    def test_invalidate_range(self):
+        tlb = Tlb()
+        for page in range(4):
+            tlb.insert(entry(page))
+        dropped = tlb.invalidate_range(PAGE_SIZE, 3 * PAGE_SIZE)
+        assert dropped == 2
+        assert tlb.contains_translation_for(0)
+        assert not tlb.contains_translation_for(PAGE_SIZE)
+        assert tlb.contains_translation_for(3 * PAGE_SIZE)
+
+    def test_contains_probe_has_no_side_effects(self):
+        tlb = Tlb()
+        tlb.insert(entry(1))
+        before = (tlb.stats.hits, tlb.stats.misses)
+        tlb.contains_translation_for(0x1000)
+        tlb.contains_translation_for(0x9000)
+        assert (tlb.stats.hits, tlb.stats.misses) == before
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tlb(capacity=0)
+
+    def test_stale_entry_survives_until_flush(self):
+        """The protection-hole window Covirt's flush command closes."""
+        tlb = Tlb()
+        tlb.insert(entry(5))
+        # ... the EPT mapping for page 5 is removed elsewhere ...
+        assert tlb.lookup(5 * PAGE_SIZE) is not None  # still translates!
+        tlb.flush_all()
+        assert tlb.lookup(5 * PAGE_SIZE) is None
+
+
+class TestMissModel:
+    def test_sequential_is_nearly_free(self):
+        rate = estimate_miss_rate(1 << 30, AccessPattern.SEQUENTIAL)
+        assert rate < 0.01
+
+    def test_random_within_reach_is_cheap(self):
+        rate = estimate_miss_rate(1 << 20, AccessPattern.RANDOM)
+        assert rate < 0.01
+
+    def test_random_beyond_reach_misses_mostly(self):
+        rate = estimate_miss_rate(256 << 20, AccessPattern.RANDOM)
+        assert rate > 0.9
+
+    def test_random_rate_monotone_in_footprint(self):
+        rates = [
+            estimate_miss_rate(fp, AccessPattern.RANDOM)
+            for fp in (1 << 22, 1 << 24, 1 << 26, 1 << 28)
+        ]
+        assert rates == sorted(rates)
+
+    def test_large_pages_extend_reach(self):
+        small = estimate_miss_rate(256 << 20, AccessPattern.RANDOM, PAGE_SIZE)
+        large = estimate_miss_rate(
+            256 << 20, AccessPattern.RANDOM, PAGE_SIZE_2M
+        )
+        assert large < small
+
+    def test_sparse_gather_between_seq_and_random(self):
+        fp = 512 << 20
+        seq = estimate_miss_rate(fp, AccessPattern.SEQUENTIAL)
+        sparse = estimate_miss_rate(fp, AccessPattern.SPARSE_GATHER)
+        random = estimate_miss_rate(fp, AccessPattern.RANDOM)
+        assert seq < sparse < random
+
+    def test_zero_footprint(self):
+        assert estimate_miss_rate(0, AccessPattern.RANDOM) == 0.0
+
+    def test_strided_follows_stride(self):
+        fine = estimate_miss_rate(
+            1 << 28, AccessPattern.STRIDED, stride_bytes=8
+        )
+        coarse = estimate_miss_rate(
+            1 << 28, AccessPattern.STRIDED, stride_bytes=4096
+        )
+        assert fine < coarse

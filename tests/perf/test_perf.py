@@ -1,0 +1,117 @@
+"""Cost model, counters, and the detour sampler."""
+
+import pytest
+
+from repro.hw.memory import PAGE_SIZE, PAGE_SIZE_1G, PAGE_SIZE_2M
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.perf.counters import PerfCounters
+from repro.perf.sampling import DetourSampler, NoiseSource
+
+
+class TestCostModel:
+    def test_ept_extra_decreases_with_page_size(self):
+        costs = DEFAULT_COSTS
+        assert (
+            costs.ept_extra_per_miss(PAGE_SIZE)
+            > costs.ept_extra_per_miss(PAGE_SIZE_2M)
+            > costs.ept_extra_per_miss(PAGE_SIZE_1G)
+        )
+
+    def test_exit_cost_with_emulation(self):
+        costs = DEFAULT_COSTS
+        assert costs.exit_cost(emulation=True) > costs.exit_cost()
+
+    def test_attach_cost_grows_with_size(self):
+        costs = DEFAULT_COSTS
+        small = costs.xemem_attach_cycles(1 << 20, covirt=False)
+        large = costs.xemem_attach_cycles(1 << 30, covirt=False)
+        assert large > small
+
+    def test_covirt_attach_overhead_shrinks_relatively(self):
+        """The Fig. 4 claim: the Covirt term is bounded, so its relative
+        cost vanishes as regions grow."""
+        costs = DEFAULT_COSTS
+        rel = []
+        for size in (1 << 20, 1 << 25, 1 << 30):
+            off = costs.xemem_attach_cycles(size, covirt=False)
+            on = costs.xemem_attach_cycles(size, covirt=True)
+            rel.append((on - off) / off)
+        assert rel == sorted(rel, reverse=True)
+        assert rel[-1] < 0.01
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.vm_exit_round_trip = 1
+
+    def test_custom_model(self):
+        costs = CostModel(vm_exit_round_trip=5000)
+        assert costs.exit_cost() == 5000
+
+
+class TestPerfCounters:
+    def test_record_and_totals(self):
+        counters = PerfCounters()
+        counters.record_exit("ept_violation", 1600)
+        counters.record_exit("ept_violation", 1600)
+        counters.record_exit("cpuid", 1600)
+        assert counters.total_exits == 3
+        assert counters.exits["ept_violation"] == 2
+        assert counters.cycles_in_vmm == 4800
+
+    def test_merge(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.record_exit("hlt", 100)
+        a.ipis_filtered = 2
+        b.record_exit("hlt", 100)
+        b.tlb_flushes = 3
+        merged = a.merge(b)
+        assert merged.exits["hlt"] == 2
+        assert merged.ipis_filtered == 2
+        assert merged.tlb_flushes == 3
+
+
+class TestDetourSampler:
+    def test_detects_all_planted_events(self):
+        sampler = DetourSampler(loop_cycles=10)
+        trace = sampler.run(
+            1_000_000, [NoiseSource("tick", 100_000, 5_000)]
+        )
+        assert trace.count == 9  # events at 100k..900k
+
+    def test_subthreshold_events_invisible(self):
+        sampler = DetourSampler(loop_cycles=10, threshold_factor=8)
+        trace = sampler.run(1_000_000, [NoiseSource("tiny", 100_000, 20)])
+        assert trace.count == 0
+
+    def test_detour_duration_reflects_cost(self):
+        sampler = DetourSampler(loop_cycles=10)
+        trace = sampler.run(500_000, [NoiseSource("tick", 100_000, 7_000)])
+        assert all(abs(d - 7_010) < 50 for _, d in trace.detours)
+
+    def test_noise_fraction(self):
+        sampler = DetourSampler(loop_cycles=10)
+        trace = sampler.run(1_000_000, [NoiseSource("tick", 100_000, 10_000)])
+        assert trace.noise_fraction == pytest.approx(0.09, rel=0.05)
+
+    def test_multiple_sources_merge(self):
+        sampler = DetourSampler(loop_cycles=10)
+        trace = sampler.run(
+            1_000_000,
+            [NoiseSource("a", 300_000, 5_000), NoiseSource("b", 400_000, 5_000)],
+        )
+        assert trace.count == 3 + 2
+
+    def test_histogram_buckets(self):
+        sampler = DetourSampler(loop_cycles=10)
+        trace = sampler.run(1_000_000, [NoiseSource("tick", 100_000, 5_000)])
+        hist = trace.histogram([1.0, 10.0])
+        assert hist["<10.0us"] == trace.count
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSource("x", 0, 100)
+
+    def test_empty_sources_silent(self):
+        trace = DetourSampler().run(1_000_000, [])
+        assert trace.count == 0
+        assert trace.noise_fraction == 0.0

@@ -1,0 +1,182 @@
+"""The Hobbes composition API: topology-adaptive multi-enclave apps."""
+
+import pytest
+
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment
+from repro.hobbes.composition import (
+    ComponentSpec,
+    Composition,
+    CompositionError,
+)
+from repro.linuxhost.host import LINUX_OWNER
+from repro.pisces.enclave import EnclaveState
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+def component(name, protection=None, zone=0, cores=1, mem=GiB, task_mem=4 * MiB):
+    return ComponentSpec(
+        name=name,
+        cores_per_zone={zone: cores},
+        mem_per_zone={zone: mem},
+        task_mem_bytes=task_mem,
+        protection=protection,
+    )
+
+
+@pytest.fixture
+def env():
+    return CovirtEnvironment()
+
+
+def two_stage(protection=None) -> Composition:
+    return (
+        Composition("pipeline")
+        .add_component(component("sim", protection, zone=0))
+        .add_component(component("viz", protection, zone=1))
+        .couple("sim", "viz", buffer_bytes=MiB)
+    )
+
+
+class TestDescription:
+    def test_duplicate_component_rejected(self):
+        comp = Composition("x").add_component(component("a"))
+        with pytest.raises(CompositionError):
+            comp.add_component(component("a"))
+
+    def test_coupling_endpoints_validated(self):
+        comp = Composition("x").add_component(component("a"))
+        with pytest.raises(CompositionError):
+            comp.couple("a", "ghost")
+
+
+class TestDeployment:
+    def test_dedicated_enclaves_when_room(self, env):
+        deployed = two_stage(CovirtConfig.memory_ipi()).deploy(env.controller)
+        assert not deployed.colocated("sim", "viz")
+        assert deployed.component_states() == {
+            "sim": "running", "viz": "running"
+        }
+        coupling = deployed.couplings["sim->viz"]
+        assert not coupling.colocated
+        assert coupling.doorbell_vector is not None
+
+    def test_data_flows_end_to_end(self, env):
+        deployed = two_stage(CovirtConfig.memory_ipi()).deploy(env.controller)
+        deployed.send("sim->viz", b"frame-0" * 10)
+        assert deployed.receive("sim->viz", 7) == b"frame-0"
+        viz = deployed.enclave_of("viz")
+        vcore = viz.assignment.core_ids[0]
+        vector = deployed.couplings["sim->viz"].doorbell_vector
+        assert vector in {i.vector for i in viz.kernel.irq_log[vcore]}
+
+    def test_teardown_leaves_machine_pristine(self, env):
+        deployed = two_stage(CovirtConfig.memory_only()).deploy(env.controller)
+        deployed.teardown()
+        assert env.host.is_pristine()
+
+    def test_failed_deploy_rolls_back(self, env):
+        comp = (
+            Composition("toobig")
+            .add_component(component("a", task_mem=MiB))
+            # Second component demands more memory than the machine has —
+            # and colocation can't help because the kernels differ.
+            .add_component(
+                ComponentSpec(
+                    name="b",
+                    cores_per_zone={0: 1},
+                    mem_per_zone={0: 100 * GiB},
+                    kernel_type="nautilus",
+                )
+            )
+        )
+        with pytest.raises(CompositionError):
+            comp.deploy(env.controller)
+        assert env.host.is_pristine()
+
+
+class TestTopologyAdaptation:
+    def test_components_colocate_when_cores_run_out(self, env):
+        """Six one-core zone-0 components on a machine with five
+        offlinable zone-0 cores: the sixth co-locates; couplings keep
+        working."""
+        comp = Composition("wide")
+        for i in range(6):
+            comp.add_component(
+                component(f"c{i}", CovirtConfig.memory_only(), zone=0, mem=GiB // 4)
+            )
+        comp.couple("c0", "c5", buffer_bytes=MiB)
+        deployed = comp.deploy(env.controller)
+        enclaves = {
+            p.enclave.enclave_id for p in deployed.placements.values()
+        }
+        assert len(enclaves) == 5  # one enclave hosts two components
+        deployed.send("c0->c5", b"hello")
+        assert deployed.receive("c0->c5", 5) == b"hello"
+
+    def test_intra_enclave_coupling_short_circuits(self, env):
+        """Components forced into one enclave: no attach, no doorbell
+        grant — same API."""
+        comp = (
+            Composition("tight")
+            .add_component(component("a", CovirtConfig.memory_only(), cores=5))
+            .add_component(component("b", CovirtConfig.memory_only(), cores=1))
+            .couple("a", "b")
+        )
+        deployed = comp.deploy(env.controller)
+        assert deployed.colocated("a", "b")
+        coupling = deployed.couplings["a->b"]
+        assert coupling.colocated
+        assert coupling.doorbell_vector is None
+        deployed.send("a->b", b"local")
+        assert deployed.receive("a->b", 5) == b"local"
+
+    def test_colocation_respects_protection_config(self, env):
+        """A protected component never lands in a native enclave."""
+        comp = (
+            Composition("mixed")
+            .add_component(component("native-app", None, cores=4))
+            .add_component(
+                component("protected-app", CovirtConfig.memory_only(), cores=1)
+            )
+        )
+        deployed = comp.deploy(env.controller)
+        assert not deployed.colocated("native-app", "protected-app")
+        assert deployed.enclave_of("protected-app").virt_context is not None
+
+    def test_colocation_refused_on_config_mismatch(self, env):
+        """With no room left and only a native enclave to share,
+        deploying a protected component must fail, not silently drop
+        its protection."""
+        comp = (
+            Composition("mixed-tight")
+            .add_component(component("native-app", None, cores=5))
+            .add_component(
+                component("protected-app", CovirtConfig.memory_only(), cores=1)
+            )
+        )
+        with pytest.raises(CompositionError):
+            comp.deploy(env.controller)
+
+
+class TestFaultBehaviour:
+    def test_producer_crash_leaves_consumer_running(self, env):
+        deployed = two_stage(CovirtConfig.memory_only()).deploy(env.controller)
+        sim = deployed.enclave_of("sim")
+        with pytest.raises(EnclaveFaultError):
+            sim.port.read(sim.assignment.core_ids[0], 50 * GiB, 8)
+        states = deployed.component_states()
+        assert states["sim"] == "failed"
+        assert states["viz"] == "running"
+        assert env.host.alive
+
+    def test_teardown_after_partial_failure(self, env):
+        deployed = two_stage(CovirtConfig.memory_only()).deploy(env.controller)
+        sim = deployed.enclave_of("sim")
+        with pytest.raises(EnclaveFaultError):
+            sim.port.read(sim.assignment.core_ids[0], 50 * GiB, 8)
+        deployed.teardown()
+        assert env.host.is_pristine()

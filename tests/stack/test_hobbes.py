@@ -1,0 +1,205 @@
+"""Hobbes runtime: vector namespace, channels, forwarding, MCP."""
+
+import pytest
+
+from repro.hobbes.channels import ChannelClosed
+from repro.hobbes.forwarding import FakeLinuxFs, SyscallForwarder
+from repro.hobbes.master import MasterControlProcess
+from repro.hobbes.registry import (
+    FIRST_DYNAMIC_VECTOR,
+    RegistryError,
+    VectorAllocator,
+)
+from repro.hw.machine import Machine, MachineConfig
+from repro.kitten.syscalls import Syscall, SyscallError
+from repro.linuxhost.host import LINUX_OWNER, LinuxHost
+from repro.pisces.enclave import EnclaveState, FaultRecord
+from repro.pisces.resources import ResourceSpec
+
+GiB = 1 << 30
+
+
+@pytest.fixture
+def stack():
+    machine = Machine(MachineConfig.paper_testbed())
+    host = LinuxHost(machine)
+    mcp = MasterControlProcess(machine, host)
+    return machine, host, mcp
+
+
+def spec(ncores=2, mem=2 * GiB, name="t"):
+    return ResourceSpec.evaluation_layout(ncores, 2, mem, name)
+
+
+class TestVectorAllocator:
+    def test_allocate_in_dynamic_range(self):
+        alloc = VectorAllocator()
+        grant = alloc.allocate(0, 1, {2})
+        assert grant.vector >= FIRST_DYNAMIC_VECTOR
+
+    def test_may_send_ground_truth(self):
+        alloc = VectorAllocator()
+        grant = alloc.allocate(3, 1, {2})
+        assert alloc.may_send(2, 3, grant.vector)
+        assert not alloc.may_send(9, 3, grant.vector)
+        assert not alloc.may_send(2, 4, grant.vector)
+
+    def test_pinned_vector(self):
+        alloc = VectorAllocator()
+        grant = alloc.allocate(0, 1, {2}, vector=100)
+        assert grant.vector == 100
+        with pytest.raises(RegistryError):
+            alloc.allocate(0, 1, {2}, vector=100)  # already taken
+
+    def test_pinned_outside_range_rejected(self):
+        alloc = VectorAllocator()
+        with pytest.raises(RegistryError):
+            alloc.allocate(0, 1, {2}, vector=2)  # NMI
+
+    def test_revoke(self):
+        alloc = VectorAllocator()
+        grant = alloc.allocate(0, 1, {2})
+        alloc.revoke(grant)
+        assert not alloc.may_send(2, 0, grant.vector)
+        with pytest.raises(RegistryError):
+            alloc.revoke(grant)
+
+    def test_hooks_fire(self):
+        alloc = VectorAllocator()
+        events = []
+        alloc.on_grant.append(lambda g: events.append(("grant", g.vector)))
+        alloc.on_revoke.append(lambda g: events.append(("revoke", g.vector)))
+        grant = alloc.allocate(0, 1, {2})
+        alloc.revoke(grant)
+        assert events == [("grant", grant.vector), ("revoke", grant.vector)]
+
+    def test_grants_involving(self):
+        alloc = VectorAllocator()
+        g1 = alloc.allocate(0, 1, {2})
+        g2 = alloc.allocate(1, 2, {3})
+        alloc.allocate(2, 4, {5})
+        involving_2 = alloc.grants_involving(2)
+        assert g1 in involving_2 and g2 in involving_2
+        assert len(involving_2) == 2
+
+    def test_same_vector_different_cores_ok(self):
+        alloc = VectorAllocator()
+        g1 = alloc.allocate(0, 1, {2}, vector=100)
+        g2 = alloc.allocate(1, 1, {2}, vector=100)
+        assert g1.vector == g2.vector
+
+
+class TestForwarder:
+    def test_open_read_close(self):
+        fwd = SyscallForwarder()
+        fd = fwd.execute(Syscall.OPEN, ("/etc/hostname",))
+        data = fwd.execute(Syscall.READ, (fd, 64))
+        assert data == b"hobbes-node-0\n"
+        fwd.execute(Syscall.CLOSE, (fd,))
+        assert fwd.stats.round_trips == 3
+
+    def test_enoent(self):
+        fwd = SyscallForwarder()
+        with pytest.raises(SyscallError):
+            fwd.execute(Syscall.OPEN, ("/no/such/file",))
+
+    def test_read_advances_offset(self):
+        fwd = SyscallForwarder()
+        fd = fwd.execute(Syscall.OPEN, ("/etc/hostname",))
+        first = fwd.execute(Syscall.READ, (fd, 6))
+        second = fwd.execute(Syscall.READ, (fd, 64))
+        assert first + second == b"hobbes-node-0\n"
+
+    def test_bad_fd(self):
+        fwd = SyscallForwarder()
+        with pytest.raises(SyscallError):
+            fwd.execute(Syscall.READ, (42, 10))
+
+    def test_stat(self):
+        fwd = SyscallForwarder()
+        info = fwd.execute(Syscall.STAT, ("/proc/version",))
+        assert info["size"] > 0
+
+    def test_fs_fd_accounting(self):
+        fs = FakeLinuxFs()
+        fd = fs.open("/etc/hostname")
+        assert fs.open_fds == 1
+        fs.close(fd)
+        assert fs.open_fds == 0
+
+
+class TestMcp:
+    def test_launch_wires_runtime(self, stack):
+        _, _, mcp = stack
+        enclave = mcp.launch_enclave(spec())
+        assert enclave.state is EnclaveState.RUNNING
+        assert enclave.kernel.hobbes_client is not None
+        assert enclave.enclave_id in mcp.channels
+
+    def test_channel_doorbells_use_granted_vectors(self, stack):
+        machine, _, mcp = stack
+        enclave = mcp.launch_enclave(spec())
+        channel = mcp.channels[enclave.enclave_id]
+        channel.host_send("ping", None)
+        bsp_apic = machine.core(enclave.assignment.core_ids[0]).apic
+        assert channel.to_enclave_grant.vector in {
+            irq.vector for irq in bsp_apic.delivered()
+        }
+
+    def test_end_to_end_forwarding(self, stack):
+        _, _, mcp = stack
+        enclave = mcp.launch_enclave(spec())
+        kernel = enclave.kernel
+        task = kernel.spawn("app")
+        fd = kernel.syscall(task, Syscall.OPEN, "/etc/hostname")
+        assert kernel.syscall(task, Syscall.READ, (fd), 64) == b"hobbes-node-0\n"
+        assert mcp.forwarder.stats.by_syscall["OPEN"] == 1
+
+    def test_closed_channel_raises(self, stack):
+        _, _, mcp = stack
+        enclave = mcp.launch_enclave(spec())
+        channel = mcp.channels[enclave.enclave_id]
+        channel.close()
+        with pytest.raises(ChannelClosed):
+            channel.enclave_send("x", None)
+
+    def test_shutdown_returns_resources(self, stack):
+        machine, host, mcp = stack
+        before = host.owner_summary()[LINUX_OWNER]
+        enclave = mcp.launch_enclave(spec())
+        mcp.shutdown_enclave(enclave.enclave_id)
+        assert host.owner_summary()[LINUX_OWNER] == before
+        assert enclave.enclave_id not in mcp.channels
+        assert mcp.vectors.grants_involving(enclave.enclave_id) == []
+
+    def test_enclave_failed_notifies_dependents(self, stack):
+        _, host, mcp = stack
+        producer = mcp.launch_enclave(spec(name="producer"))
+        consumer = mcp.launch_enclave(spec(name="consumer"))
+        # Consumer attaches a segment the producer owns.
+        ptask = producer.kernel.spawn("p", mem_bytes=1 << 20)
+        segid = producer.kernel.syscall(
+            ptask, Syscall.XEMEM_MAKE, "data", ptask.slices[0].start, 1 << 20
+        )
+        ctask = consumer.kernel.spawn("c")
+        consumer.kernel.syscall(ctask, Syscall.XEMEM_ATTACH, segid)
+        # Producer dies.
+        fault = FaultRecord("ept_violation", "test", 0, 0)
+        notifications = mcp.enclave_failed(producer.enclave_id, fault)
+        assert producer.state is EnclaveState.FAILED
+        whats = [n.what for n in notifications]
+        assert any("segment" in w for w in whats)
+        assert any("channel" in w for w in whats)
+        # Consumer survives and its memory map no longer holds the segment.
+        assert consumer.state is EnclaveState.RUNNING
+        assert not consumer.kernel.memmap.contains(ptask.slices[0].start)
+        assert host.alive
+
+    def test_failed_enclave_resources_reclaimed(self, stack):
+        _, host, mcp = stack
+        before = host.owner_summary()[LINUX_OWNER]
+        enclave = mcp.launch_enclave(spec())
+        mcp.enclave_failed(
+            enclave.enclave_id, FaultRecord("abort", "test", 0, 0)
+        )
+        assert host.owner_summary()[LINUX_OWNER] == before

@@ -1,0 +1,242 @@
+"""Kitten LWK: memory map, scheduler, tasks, syscalls, IRQ handling."""
+
+import pytest
+
+from repro.hw.interrupts import Interrupt, InterruptKind
+from repro.hw.machine import Machine, MachineConfig
+from repro.kitten.kernel import GuestPageFault, HOUSEKEEPING_TICK_CYCLES
+from repro.kitten.memmap import GuestMemoryMap, MemoryMapError
+from repro.kitten.sched import Scheduler, SchedulerError
+from repro.kitten.syscalls import Syscall, SyscallError
+from repro.kitten.task import Task, TaskState
+from repro.linuxhost.host import LinuxHost
+from repro.pisces.kmod import PiscesKmod
+from repro.pisces.resources import ResourceSpec
+
+GiB = 1 << 30
+MiB = 1 << 20
+PAGE = 4096
+
+
+@pytest.fixture
+def kernel_env():
+    machine = Machine(MachineConfig.paper_testbed())
+    host = LinuxHost(machine)
+    kmod = PiscesKmod(machine, host)
+    enclave = kmod.create_enclave(
+        ResourceSpec.evaluation_layout(2, 2, 2 * GiB, "k")
+    )
+    kmod.boot_enclave(enclave.enclave_id)
+    return machine, kmod, enclave, enclave.kernel
+
+
+class TestGuestMemoryMap:
+    def test_add_remove_roundtrip(self):
+        mm = GuestMemoryMap()
+        mm.add(0x10000, 0x4000)
+        assert mm.contains(0x10000)
+        assert mm.contains(0x13FFF)
+        mm.remove(0x10000, 0x4000)
+        assert not mm.contains(0x10000)
+        assert mm.total_bytes == 0
+
+    def test_adjacent_ranges_merge(self):
+        mm = GuestMemoryMap()
+        mm.add(0, PAGE)
+        mm.add(PAGE, PAGE)
+        assert len(mm) == 1
+        assert mm.contains(0, 2 * PAGE)
+
+    def test_overlap_rejected(self):
+        mm = GuestMemoryMap()
+        mm.add(0, 2 * PAGE)
+        with pytest.raises(MemoryMapError):
+            mm.add(PAGE, 2 * PAGE)
+
+    def test_partial_remove_splits(self):
+        mm = GuestMemoryMap()
+        mm.add(0, 4 * PAGE)
+        mm.remove(PAGE, PAGE)
+        assert mm.contains(0)
+        assert not mm.contains(PAGE)
+        assert mm.contains(2 * PAGE, 2 * PAGE)
+        mm.check_invariants()
+
+    def test_remove_not_present_rejected(self):
+        mm = GuestMemoryMap()
+        mm.add(0, PAGE)
+        with pytest.raises(MemoryMapError):
+            mm.remove(0, 2 * PAGE)
+
+    def test_contains_across_gap_fails(self):
+        mm = GuestMemoryMap()
+        mm.add(0, PAGE)
+        mm.add(2 * PAGE, PAGE)
+        assert not mm.contains(0, 3 * PAGE)
+
+    def test_unaligned_rejected(self):
+        mm = GuestMemoryMap()
+        with pytest.raises(MemoryMapError):
+            mm.add(5, PAGE)
+        with pytest.raises(MemoryMapError):
+            mm.add(0, 0)
+
+
+class TestScheduler:
+    def make_task(self, tid):
+        return Task(tid, f"t{tid}", enclave_id=1)
+
+    def test_run_to_completion(self):
+        sched = Scheduler([0])
+        t1, t2 = self.make_task(1), self.make_task(2)
+        sched.enqueue(t1, 0)
+        sched.enqueue(t2, 0)
+        assert sched.pick_next(0) is t1
+        assert sched.pick_next(0) is t1  # no preemption
+        t1.exit()
+        sched.task_done(0)
+        assert sched.pick_next(0) is t2
+
+    def test_least_loaded_placement(self):
+        sched = Scheduler([0, 1])
+        sched.enqueue(self.make_task(1), 0)
+        assert sched.least_loaded_core() == 1
+
+    def test_killed_tasks_skipped(self):
+        sched = Scheduler([0])
+        t1, t2 = self.make_task(1), self.make_task(2)
+        t1.kill()
+        sched.enqueue(t1, 0)
+        sched.enqueue(t2, 0)
+        assert sched.pick_next(0) is t2
+
+    def test_unknown_core_rejected(self):
+        sched = Scheduler([0])
+        with pytest.raises(SchedulerError):
+            sched.enqueue(self.make_task(1), 5)
+
+    def test_add_core(self):
+        sched = Scheduler([0])
+        sched.add_core(1)
+        assert sched.core_ids == [0, 1]
+        with pytest.raises(SchedulerError):
+            sched.add_core(1)
+
+    def test_empty_scheduler_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler([])
+
+
+class TestKernel:
+    def test_boot_parses_params_from_memory(self, kernel_env):
+        _, _, enclave, kernel = kernel_env
+        assert kernel.params.enclave_id == enclave.enclave_id
+        assert kernel.console[0].startswith("Kitten booting")
+
+    def test_kmalloc_contiguous_and_reserved(self, kernel_env):
+        _, _, enclave, kernel = kernel_env
+        chunk = kernel.kmalloc(MiB)
+        first = enclave.assignment.regions[0]
+        assert chunk.start >= first.start + (1 << 20)  # skips kernel image
+        chunk2 = kernel.kmalloc(MiB)
+        assert chunk2.start == chunk.start + MiB  # bump allocation
+
+    def test_kmalloc_zone_preference(self, kernel_env):
+        machine, _, enclave, kernel = kernel_env
+        chunk = kernel.kmalloc(MiB, zone_pref=1)
+        assert machine.topology.zone_of_addr(chunk.start) == 1
+
+    def test_kmalloc_exhaustion(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        with pytest.raises(SyscallError):
+            kernel.kmalloc(100 * GiB)
+
+    def test_touch_checks_memmap_first(self, kernel_env):
+        _, _, enclave, kernel = kernel_env
+        bsp = enclave.assignment.core_ids[0]
+        with pytest.raises(GuestPageFault):
+            kernel.touch(bsp, 63 * GiB, 8)
+
+    def test_spawn_and_getpid(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        task = kernel.spawn("app", mem_bytes=PAGE)
+        assert kernel.syscall(task, Syscall.GETPID) == task.tid
+
+    def test_write_console(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        task = kernel.spawn("app")
+        kernel.syscall(task, Syscall.WRITE, 1, "hello")
+        assert "hello" in kernel.console
+        with pytest.raises(SyscallError):
+            kernel.syscall(task, Syscall.WRITE, 7, "nope")
+
+    def test_mmap_allocates_to_task(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        task = kernel.spawn("app")
+        addr = kernel.syscall(task, Syscall.MMAP, 2 * PAGE)
+        assert task.owns_addr(addr, 2 * PAGE)
+
+    def test_exit_frees_core(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        task = kernel.spawn("app", core_id=kernel.online_cores[0])
+        kernel.sched.pick_next(task.bound_core)
+        kernel.syscall(task, Syscall.EXIT, 3)
+        assert task.state is TaskState.EXITED
+        assert task.exit_code == 3
+
+    def test_delegated_syscall_without_hobbes_fails(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        kernel.hobbes_client = None
+        task = kernel.spawn("app")
+        with pytest.raises(SyscallError):
+            kernel.syscall(task, Syscall.OPEN, "/etc/hostname")
+
+    def test_unknown_syscall(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        task = kernel.spawn("app")
+        with pytest.raises(SyscallError):
+            kernel.syscall(task, 424242)
+
+    def test_user_access_segfault_kills_task(self, kernel_env):
+        _, _, enclave, kernel = kernel_env
+        task = kernel.spawn("app", mem_bytes=PAGE)
+        bsp = enclave.assignment.core_ids[0]
+        with pytest.raises(GuestPageFault):
+            kernel.user_access(task, bsp, 0x100, 8, write=False)
+        assert task.state is TaskState.KILLED
+
+    def test_irq_dispatch_and_log(self, kernel_env):
+        _, _, enclave, kernel = kernel_env
+        bsp = enclave.assignment.core_ids[0]
+        seen = []
+        kernel.register_irq_handler(77, lambda core, irq: seen.append((core, irq.vector)))
+        kernel.inject_interrupt(bsp, Interrupt(77, InterruptKind.IPI, source_core=1))
+        assert seen == [(bsp, 77)]
+        assert kernel.irq_log[bsp][-1].vector == 77
+
+    def test_native_ipi_between_enclave_cores(self, kernel_env):
+        machine, _, enclave, kernel = kernel_env
+        c0, c1 = enclave.assignment.core_ids[:2]
+        kernel.send_ipi(c0, c1, 99)
+        assert kernel.irq_log[c1][-1].vector == 99
+
+    def test_timer_configured_low_noise(self, kernel_env):
+        machine, _, enclave, kernel = kernel_env
+        for core_id in enclave.assignment.core_ids:
+            apic = machine.core(core_id).apic
+            assert apic.timer_period == HOUSEKEEPING_TICK_CYCLES
+
+    def test_hotplug_remove_with_buggy_cleanup_keeps_stale_map(self, kernel_env):
+        _, kmod, enclave, kernel = kernel_env
+        region = kmod.add_memory(enclave.enclave_id, 4 * MiB, 0)
+        kernel.buggy_cleanup = True
+        kmod.remove_memory(enclave.enclave_id, region)
+        # The kernel still *believes* it owns the memory: the bug.
+        assert kernel.memmap.contains(region.start)
+
+    def test_shutdown_kills_tasks(self, kernel_env):
+        _, _, _, kernel = kernel_env
+        task = kernel.spawn("app")
+        kernel.shutdown()
+        assert task.state is TaskState.KILLED
+        assert not kernel.running

@@ -1,0 +1,112 @@
+"""Host OS: resource offlining, integrity canaries, panic semantics."""
+
+import pytest
+
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.memory import OwnershipError, PAGE_SIZE
+from repro.linuxhost.host import (
+    HostPanic,
+    LINUX_OWNER,
+    LinuxHost,
+    OFFLINE_OWNER,
+)
+
+MiB = 1 << 20
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig.small())
+
+
+@pytest.fixture
+def host(machine):
+    return LinuxHost(machine)
+
+
+class TestBoot:
+    def test_linux_owns_everything_but_device_windows(self, machine, host):
+        assert (
+            machine.memory.total_owned(LINUX_OWNER)
+            == machine.memory.size - host.nic.window.size
+        )
+        assert machine.memory.region_owner(host.nic.window) == host.nic.owner
+        assert host.is_pristine()
+
+    def test_all_cores_online(self, machine, host):
+        assert host.online_cores == set(range(machine.num_cores))
+
+    def test_integrity_ok_at_boot(self, host):
+        assert host.verify_integrity()
+
+
+class TestCoreOfflining:
+    def test_offline_then_return(self, host):
+        host.offline_cores([1, 2])
+        assert host.online_cores.isdisjoint({1, 2})
+        host.online_cores_return([1, 2])
+        assert {1, 2} <= host.online_cores
+
+    def test_cannot_offline_twice(self, host):
+        host.offline_cores([1])
+        with pytest.raises(ValueError):
+            host.offline_cores([1])
+
+    def test_boot_cpu_never_offlines(self, host):
+        assert not host.can_offline(0)
+        with pytest.raises(ValueError):
+            host.offline_cores([0])
+
+    def test_cannot_return_online_core(self, host):
+        with pytest.raises(ValueError):
+            host.online_cores_return([0])
+
+
+class TestMemoryOfflining:
+    def test_offline_moves_ownership(self, machine, host):
+        region = host.offline_memory(4 * MiB, zone_id=0)
+        assert machine.memory.region_owner(region) == OFFLINE_OWNER
+        assert machine.topology.zone_of_addr(region.start) == 0
+
+    def test_offline_respects_zone(self, machine, host):
+        region = host.offline_memory(4 * MiB, zone_id=1)
+        assert machine.topology.zone_of_addr(region.start) == 1
+
+    def test_offline_avoids_reserved_pages(self, machine, host):
+        region = host.offline_memory(4 * MiB, zone_id=0)
+        zone = machine.topology.zones[0]
+        assert region.start >= zone.mem_start + 64 * PAGE_SIZE
+
+    def test_offline_exhaustion(self, machine, host):
+        with pytest.raises(OwnershipError):
+            host.offline_memory(machine.memory.size, zone_id=0)
+
+    def test_return_restores_linux(self, machine, host):
+        region = host.offline_memory(4 * MiB, zone_id=0)
+        host.online_memory_return(region)
+        assert machine.memory.region_owner(region) == LINUX_OWNER
+
+
+class TestIntegrity:
+    def test_corruption_detected(self, machine, host):
+        # A rogue write to a host canary page.
+        zone0 = machine.topology.zones[0]
+        machine.memory.write_u64(zone0.mem_start + 16 * PAGE_SIZE, 0x1337)
+        assert not host.verify_integrity()
+
+    def test_panic_raises_and_marks_dead(self, host):
+        with pytest.raises(HostPanic):
+            host.panic("double fault in co-kernel")
+        assert not host.alive
+
+
+class TestModules:
+    def test_load_unload(self, host):
+        sentinel = object()
+        host.load_module("pisces", sentinel)
+        assert host.unload_module("pisces") is sentinel
+
+    def test_duplicate_load_rejected(self, host):
+        host.load_module("pisces", object())
+        with pytest.raises(ValueError):
+            host.load_module("pisces", object())

@@ -1,0 +1,173 @@
+"""Nautilus aerokernel: the second co-kernel, native and under Covirt.
+
+The point of these tests is the paper's generality claim: Covirt's boot
+interposition and protection features do not know or care which
+co-kernel is in the enclave.
+"""
+
+import pytest
+
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.nautilus.kernel import FiberState, NautilusKernel
+from repro.pisces.enclave import EnclaveState
+from repro.pisces.resources import ResourceSpec
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+def nautilus_layout() -> Layout:
+    return Layout("2c/2n", {0: 1, 1: 1}, {0: GiB, 1: GiB})
+
+
+def nautilus_spec(layout: Layout) -> ResourceSpec:
+    spec = layout.spec("aero")
+    return ResourceSpec(
+        cores_per_zone=spec.cores_per_zone,
+        mem_per_zone=spec.mem_per_zone,
+        name="aero",
+        kernel_type="nautilus",
+    )
+
+
+@pytest.fixture
+def env():
+    return CovirtEnvironment()
+
+
+def launch_nautilus(env, config):
+    return env.controller.launch(nautilus_spec(nautilus_layout()), config)
+
+
+class TestNativeBoot:
+    def test_boots_and_reads_params(self, env):
+        enclave = launch_nautilus(env, None)
+        assert enclave.state is EnclaveState.RUNNING
+        assert isinstance(enclave.kernel, NautilusKernel)
+        assert "Nautilus" in enclave.kernel.console[0]
+        assert sorted(enclave.kernel.online_cores) == sorted(
+            enclave.assignment.core_ids
+        )
+
+    def test_timer_fully_masked(self, env):
+        """The aerokernel's signature: zero periodic noise."""
+        enclave = launch_nautilus(env, None)
+        for core_id in enclave.assignment.core_ids:
+            assert env.machine.core(core_id).apic.timer_period is None
+
+    def test_unknown_kernel_type_rejected(self, env):
+        spec = nautilus_spec(nautilus_layout())
+        bad = ResourceSpec(
+            cores_per_zone=spec.cores_per_zone,
+            mem_per_zone=spec.mem_per_zone,
+            kernel_type="plan9",
+        )
+        with pytest.raises(ValueError):
+            env.controller.launch(bad, None)
+
+
+class TestFibers:
+    def test_cooperative_dispatch(self, env):
+        enclave = launch_nautilus(env, None)
+        kernel = enclave.kernel
+        bsp = enclave.assignment.core_ids[0]
+        log = []
+
+        def worker(fiber):
+            log.append(fiber.dispatches)
+            return fiber.dispatches < 3  # yield twice, then finish
+
+        fiber = kernel.spawn_fiber("worker", worker, core_id=bsp)
+        dispatched = kernel.run_core(bsp)
+        assert dispatched == 3
+        assert fiber.state is FiberState.DONE
+        assert log == [1, 2, 3]
+
+    def test_fibers_interleave_on_yield(self, env):
+        enclave = launch_nautilus(env, None)
+        kernel = enclave.kernel
+        bsp = enclave.assignment.core_ids[0]
+        order = []
+        kernel.spawn_fiber(
+            "a", lambda f: (order.append("a"), f.dispatches < 2)[1], core_id=bsp
+        )
+        kernel.spawn_fiber(
+            "b", lambda f: (order.append("b"), f.dispatches < 2)[1], core_id=bsp
+        )
+        kernel.run_core(bsp)
+        assert order == ["a", "b", "a", "b"]
+
+    def test_fiber_heaps_disjoint(self, env):
+        enclave = launch_nautilus(env, None)
+        kernel = enclave.kernel
+        f1 = kernel.spawn_fiber("x", heap_bytes=2 * MiB)
+        f2 = kernel.spawn_fiber("y", heap_bytes=2 * MiB)
+        assert f1.heap_start + f1.heap_bytes <= f2.heap_start
+        assert kernel.memmap.contains(f1.heap_start, f1.heap_bytes)
+
+
+class TestUnderCovirt:
+    def test_boots_protected_transparently(self, env):
+        enclave = launch_nautilus(env, CovirtConfig.full())
+        assert enclave.state is EnclaveState.RUNNING
+        assert isinstance(enclave.kernel, NautilusKernel)
+        status = env.mcp.kmod.ioctl(200, enclave.enclave_id)
+        assert status["protected"]
+
+    def test_legit_access_works(self, env):
+        enclave = launch_nautilus(env, CovirtConfig.memory_only())
+        kernel = enclave.kernel
+        fiber = kernel.spawn_fiber("w", heap_bytes=MiB)
+        bsp = enclave.assignment.core_ids[0]
+        kernel.touch(bsp, fiber.heap_start, 8, write=True)
+        assert kernel.touch(bsp, fiber.heap_start, 8) == b"\xaa" * 8
+
+    def test_wild_access_contained(self, env):
+        enclave = launch_nautilus(env, CovirtConfig.memory_only())
+        bsp = enclave.assignment.core_ids[0]
+        with pytest.raises(EnclaveFaultError):
+            enclave.port.read(bsp, 50 * GiB, 8)
+        assert enclave.state is EnclaveState.FAILED
+        assert env.host.alive
+
+    def test_stale_hotplug_bug_contained_same_as_kitten(self, env):
+        enclave = launch_nautilus(env, CovirtConfig.memory_only())
+        region = env.mcp.kmod.add_memory(enclave.enclave_id, 4 * MiB, 0)
+        enclave.kernel.buggy_cleanup = True
+        env.mcp.kmod.remove_memory(enclave.enclave_id, region)
+        bsp = enclave.assignment.core_ids[0]
+        with pytest.raises(EnclaveFaultError):
+            enclave.kernel.touch(bsp, region.start, 8)
+        assert env.host.verify_integrity()
+
+    def test_mixed_kernels_coexist(self, env):
+        aero = launch_nautilus(env, CovirtConfig.memory_only())
+        kitten = env.launch(nautilus_layout(), CovirtConfig.memory_only(), "k")
+        from repro.kitten.kernel import KittenKernel
+
+        assert isinstance(kitten.kernel, KittenKernel)
+        assert isinstance(aero.kernel, NautilusKernel)
+        # The aerokernel crashes; the LWK keeps running.
+        with pytest.raises(EnclaveFaultError):
+            aero.port.read(aero.assignment.core_ids[0], 50 * GiB, 8)
+        assert kitten.state is EnclaveState.RUNNING
+
+    def test_xemem_attach_into_nautilus(self, env):
+        """Cross-kernel composition: Kitten exports, Nautilus attaches."""
+        producer = env.launch(nautilus_layout(), CovirtConfig.memory_only(), "p")
+        aero = launch_nautilus(env, CovirtConfig.memory_only())
+        task = producer.kernel.spawn("exp", mem_bytes=MiB)
+        seg = env.mcp.xemem.make(
+            producer.enclave_id, "xk", task.slices[0].start, MiB
+        )
+        env.mcp.xemem.attach(aero.enclave_id, seg.segid)
+        bsp = aero.assignment.core_ids[0]
+        producer.port.write(
+            producer.assignment.core_ids[0], seg.start, b"kitten->aero"
+        )
+        assert aero.kernel.touch(bsp, seg.start, 12) == b"kitten->aero"
+        env.mcp.xemem.detach(aero.enclave_id, seg.segid)
+        with pytest.raises(EnclaveFaultError):
+            aero.port.read(bsp, seg.start, 8)

@@ -1,0 +1,168 @@
+"""Guest page tables: walking, huge pages, splitting, pruning."""
+
+import pytest
+
+from repro.hw.memory import PAGE_SIZE, PAGE_SIZE_1G, PAGE_SIZE_2M
+from repro.kitten.pagetable import GuestPageTable, PageTableError
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+class TestMapping:
+    def test_identity_walk(self):
+        pt = GuestPageTable()
+        pt.map(0x40000000, 0x40000000, 4 * MiB)
+        result = pt.walk(0x40000000 + 12345)
+        assert result is not None
+        assert result.paddr == 0x40000000 + 12345
+
+    def test_non_identity_walk(self):
+        pt = GuestPageTable()
+        pt.map(0, 8 * GiB, 2 * MiB)
+        result = pt.walk(0x1234)
+        assert result.paddr == 8 * GiB + 0x1234
+
+    def test_huge_pages_used_when_aligned(self):
+        pt = GuestPageTable()
+        pt.map(GiB, GiB, GiB + 2 * PAGE_SIZE_2M + 3 * PAGE_SIZE)
+        assert pt.leaf_count[PAGE_SIZE_1G] == 1
+        assert pt.leaf_count[PAGE_SIZE_2M] == 2
+        assert pt.leaf_count[PAGE_SIZE] == 3
+
+    def test_max_page_caps_leaf_size(self):
+        pt = GuestPageTable()
+        pt.map(0, 0, GiB, max_page=PAGE_SIZE_2M)
+        assert pt.leaf_count[PAGE_SIZE_1G] == 0
+        assert pt.leaf_count[PAGE_SIZE_2M] == 512
+
+    def test_unaligned_start_uses_small_pages(self):
+        pt = GuestPageTable()
+        pt.map(PAGE_SIZE, PAGE_SIZE, PAGE_SIZE_2M)
+        assert pt.leaf_count[PAGE_SIZE_2M] == 0
+
+    def test_levels_touched(self):
+        pt = GuestPageTable()
+        pt.map(0, 0, GiB)  # one 1G leaf
+        pt.map(GiB, GiB, PAGE_SIZE_2M)  # one 2M leaf
+        pt.map(GiB + PAGE_SIZE_2M, GiB + PAGE_SIZE_2M, PAGE_SIZE)  # 4K
+        assert pt.walk(0).levels_touched == 2
+        assert pt.walk(GiB).levels_touched == 3
+        assert pt.walk(GiB + PAGE_SIZE_2M).levels_touched == 4
+
+    def test_double_map_rejected(self):
+        pt = GuestPageTable()
+        pt.map(0, 0, PAGE_SIZE_2M)
+        with pytest.raises(PageTableError):
+            pt.map(0, 0, PAGE_SIZE)
+        with pytest.raises(PageTableError):
+            pt.map(PAGE_SIZE, PAGE_SIZE, PAGE_SIZE)  # under the huge leaf
+
+    def test_readonly_mapping(self):
+        pt = GuestPageTable()
+        pt.map(0, 0, PAGE_SIZE, writable=False)
+        assert pt.translate(0) is not None
+        assert pt.translate(0, write=True) is None
+
+    def test_unmapped_walk_is_none(self):
+        pt = GuestPageTable()
+        assert pt.walk(0x1000) is None
+
+    def test_bad_args_rejected(self):
+        pt = GuestPageTable()
+        with pytest.raises(PageTableError):
+            pt.map(1, 0, PAGE_SIZE)
+        with pytest.raises(PageTableError):
+            pt.map(0, 0, 0)
+
+
+class TestUnmapping:
+    def test_exact_unmap(self):
+        pt = GuestPageTable()
+        pt.map(0, 0, 4 * PAGE_SIZE)
+        pt.unmap(0, 4 * PAGE_SIZE)
+        assert pt.mapped_bytes() == 0
+        assert pt.walk(0) is None
+
+    def test_punching_hole_in_huge_page(self):
+        pt = GuestPageTable()
+        pt.map(0, 0, PAGE_SIZE_2M)
+        pt.unmap(PAGE_SIZE, PAGE_SIZE)
+        assert pt.walk(PAGE_SIZE) is None
+        assert pt.walk(0) is not None
+        assert pt.walk(2 * PAGE_SIZE).paddr == 2 * PAGE_SIZE
+        assert pt.mapped_bytes() == PAGE_SIZE_2M - PAGE_SIZE
+
+    def test_splitting_1g_page(self):
+        pt = GuestPageTable()
+        pt.map(0, GiB, GiB)  # non-identity 1G leaf
+        pt.unmap(PAGE_SIZE_2M, PAGE_SIZE_2M)
+        assert pt.walk(PAGE_SIZE_2M) is None
+        # Translation of survivors preserved across the split.
+        assert pt.walk(0).paddr == GiB
+        assert pt.walk(5 * PAGE_SIZE_2M + 7).paddr == GiB + 5 * PAGE_SIZE_2M + 7
+
+    def test_unmap_not_mapped_rejected(self):
+        pt = GuestPageTable()
+        with pytest.raises(PageTableError):
+            pt.unmap(0, PAGE_SIZE)
+
+    def test_remap_after_unmap_can_use_huge_again(self):
+        """Pruning: empty interior tables don't block later huge leaves."""
+        pt = GuestPageTable()
+        pt.map(0, 0, PAGE_SIZE_2M, max_page=PAGE_SIZE)  # 512 small leaves
+        pt.unmap(0, PAGE_SIZE_2M)
+        pt.map(0, 0, PAGE_SIZE_2M)  # now as one huge leaf
+        assert pt.leaf_count[PAGE_SIZE_2M] == 1
+        assert pt.leaf_count[PAGE_SIZE] == 0
+
+    def test_covers(self):
+        pt = GuestPageTable()
+        pt.map(0, 0, 4 * PAGE_SIZE)
+        assert pt.covers(0, 4 * PAGE_SIZE)
+        assert not pt.covers(0, 5 * PAGE_SIZE)
+        pt.unmap(2 * PAGE_SIZE, PAGE_SIZE)
+        assert not pt.covers(0, 4 * PAGE_SIZE)
+        assert pt.covers(0, 2 * PAGE_SIZE)
+
+
+class TestKernelIntegration:
+    def test_kitten_builds_identity_tables_at_boot(self, env, small_layout):
+        enclave = env.launch(small_layout, None)
+        kernel = enclave.kernel
+        assert kernel.pgtable.mapped_bytes() == enclave.assignment.total_memory
+        for region in enclave.assignment.regions:
+            result = kernel.pgtable.walk(region.start + 0x2000)
+            assert result.paddr == region.start + 0x2000  # identity
+
+    def test_lwk_uses_huge_pages(self, env, small_layout):
+        enclave = env.launch(small_layout, None)
+        counts = enclave.kernel.pgtable.leaf_count
+        assert counts[PAGE_SIZE_2M] + counts[PAGE_SIZE_1G] > 0
+
+    def test_hotplug_keeps_tables_in_sync(self, env, small_layout):
+        enclave = env.launch(small_layout, None)
+        region = env.mcp.kmod.add_memory(enclave.enclave_id, 4 * MiB, 0)
+        assert enclave.kernel.pgtable.covers(region.start, region.size)
+        env.mcp.kmod.remove_memory(enclave.enclave_id, region)
+        assert not enclave.kernel.pgtable.covers(region.start, 1)
+
+    def test_xemem_attach_installs_tables(self, env, small_layout):
+        from repro.core.features import CovirtConfig
+
+        e1 = env.launch(small_layout, CovirtConfig.memory_only(), "a")
+        e2 = env.launch(small_layout, CovirtConfig.memory_only(), "b")
+        task = e1.kernel.spawn("p", mem_bytes=MiB)
+        seg = env.mcp.xemem.make(e1.enclave_id, "s", task.slices[0].start, MiB)
+        env.mcp.xemem.attach(e2.enclave_id, seg.segid)
+        assert e2.kernel.pgtable.covers(seg.start, MiB)
+        env.mcp.xemem.detach(e2.enclave_id, seg.segid)
+        assert not e2.kernel.pgtable.covers(seg.start, 1)
+
+    def test_touch_faults_on_unmapped_guest_address(self, env, small_layout):
+        from repro.kitten.kernel import GuestPageFault
+
+        enclave = env.launch(small_layout, None)
+        bsp = enclave.assignment.core_ids[0]
+        with pytest.raises(GuestPageFault):
+            enclave.kernel.touch(bsp, 40 * GiB, 8)

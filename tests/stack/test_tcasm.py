@@ -1,0 +1,107 @@
+"""TCASM-style versioned streams over XEMEM."""
+
+import pytest
+
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.hobbes.tcasm import StreamError, StreamReader, VersionedStream
+from repro.pisces.enclave import EnclaveState
+
+GiB = 1 << 30
+MiB = 1 << 20
+LAYOUT = Layout("2c/2n", {0: 1, 1: 1}, {0: GiB, 1: GiB})
+
+
+@pytest.fixture
+def pipeline():
+    env = CovirtEnvironment()
+    producer = env.launch(LAYOUT, CovirtConfig.memory_ipi(), "producer")
+    consumer = env.launch(LAYOUT, CovirtConfig.memory_ipi(), "consumer")
+    ptask = producer.kernel.spawn("pub", mem_bytes=2 * MiB)
+    ctask = consumer.kernel.spawn("sub", mem_bytes=64 * 1024)
+    stream = VersionedStream(env.mcp, producer, ptask, "field", 256 * 1024)
+    reader = StreamReader(env.mcp, consumer, ctask, "field")
+    return env, stream, reader
+
+
+class TestVersionedStream:
+    def test_no_version_before_first_publish(self, pipeline):
+        _, _, reader = pipeline
+        assert reader.read_latest() is None
+        assert not reader.has_new_version()
+
+    def test_publish_read_roundtrip(self, pipeline):
+        _, stream, reader = pipeline
+        stream.publish(b"step-1 data" * 100)
+        assert reader.has_new_version()
+        version, payload = reader.read_latest()
+        assert version == 1
+        assert payload == b"step-1 data" * 100
+
+    def test_reader_always_sees_newest_complete_version(self, pipeline):
+        _, stream, reader = pipeline
+        for step in range(5):
+            stream.publish(f"step-{step}".encode() * 50)
+        version, payload = reader.read_latest()
+        assert version == 5
+        assert payload.startswith(b"step-4")
+
+    def test_versions_alternate_slots(self, pipeline):
+        """Double buffering: consecutive versions land in different
+        slots, so an in-flight read of version N survives publish N+1."""
+        _, stream, reader = pipeline
+        stream.publish(b"A" * 10)
+        addr_v1 = stream._slot_addr(stream.version % 2)
+        stream.publish(b"B" * 10)
+        addr_v2 = stream._slot_addr(stream.version % 2)
+        assert addr_v1 != addr_v2
+        _, payload = reader.read_latest()
+        assert payload == b"B" * 10
+
+    def test_oversized_payload_rejected(self, pipeline):
+        _, stream, _ = pipeline
+        with pytest.raises(StreamError):
+            stream.publish(b"x" * (stream.slot_bytes + 1))
+
+    def test_has_new_version_tracks_reads(self, pipeline):
+        _, stream, reader = pipeline
+        stream.publish(b"one")
+        assert reader.has_new_version()
+        reader.read_latest()
+        assert not reader.has_new_version()
+        stream.publish(b"two")
+        assert reader.has_new_version()
+
+    def test_detach_then_access_is_contained(self, pipeline):
+        """After detach the consumer's EPT no longer maps the stream;
+        a buggy late read is a contained fault, not corruption."""
+        env, stream, reader = pipeline
+        stream.publish(b"data")
+        reader.read_latest()
+        base = reader.base
+        consumer = reader.consumer
+        reader.detach()
+        with pytest.raises(EnclaveFaultError):
+            consumer.port.read(consumer.assignment.core_ids[0], base, 8)
+        assert consumer.state is EnclaveState.FAILED
+        assert env.host.alive
+
+    def test_producer_needs_room(self):
+        env = CovirtEnvironment()
+        producer = env.launch(LAYOUT, None, "p")
+        tiny = producer.kernel.spawn("pub", mem_bytes=4096)
+        with pytest.raises(StreamError):
+            VersionedStream(env.mcp, producer, tiny, "s", 256 * 1024)
+
+    def test_works_native_too(self):
+        """The abstraction is protection-agnostic."""
+        env = CovirtEnvironment()
+        producer = env.launch(LAYOUT, None, "p")
+        consumer = env.launch(LAYOUT, None, "c")
+        ptask = producer.kernel.spawn("pub", mem_bytes=2 * MiB)
+        ctask = consumer.kernel.spawn("sub", mem_bytes=64 * 1024)
+        stream = VersionedStream(env.mcp, producer, ptask, "raw", 64 * 1024)
+        reader = StreamReader(env.mcp, consumer, ctask, "raw")
+        stream.publish(b"native bytes")
+        assert reader.read_latest()[1] == b"native bytes"

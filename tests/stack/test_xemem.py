@@ -1,0 +1,170 @@
+"""XEMEM: segments, name service, attach/detach ordering."""
+
+import pytest
+
+from repro.hobbes.master import MasterControlProcess
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.memory import PAGE_SIZE
+from repro.kitten.syscalls import Syscall
+from repro.linuxhost.host import LinuxHost
+from repro.pisces.resources import ResourceSpec
+from repro.xemem.nameservice import NameService
+from repro.xemem.segment import HOST_ENCLAVE_ID, Segment, SegmentError
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+@pytest.fixture
+def stack():
+    machine = Machine(MachineConfig.paper_testbed())
+    host = LinuxHost(machine)
+    mcp = MasterControlProcess(machine, host)
+    e1 = mcp.launch_enclave(ResourceSpec.evaluation_layout(2, 2, 2 * GiB, "a"))
+    e2 = mcp.launch_enclave(ResourceSpec.evaluation_layout(2, 2, 2 * GiB, "b"))
+    return machine, mcp, e1, e2
+
+
+class TestSegment:
+    def test_alignment_enforced(self):
+        with pytest.raises(SegmentError):
+            Segment(1, "x", 1, 100, PAGE_SIZE)
+        with pytest.raises(SegmentError):
+            Segment(1, "x", 1, 0, 100)
+
+    def test_attach_detach_bookkeeping(self):
+        seg = Segment(1, "x", 1, 0, PAGE_SIZE)
+        att = seg.attach_for(2)
+        assert att.local_addr == 0  # identity
+        with pytest.raises(SegmentError):
+            seg.attach_for(2)  # double attach
+        seg.detach_for(2)
+        with pytest.raises(SegmentError):
+            seg.detach_for(2)
+
+    def test_dead_segment_rejects_attach(self):
+        seg = Segment(1, "x", 1, 0, PAGE_SIZE)
+        seg.alive = False
+        with pytest.raises(SegmentError):
+            seg.attach_for(2)
+
+
+class TestNameService:
+    def test_register_lookup(self):
+        ns = NameService()
+        seg = Segment(ns.allocate_segid(), "buf", 1, 0, PAGE_SIZE)
+        ns.register(seg)
+        assert ns.lookup("buf") is seg
+        assert ns.by_segid(seg.segid) is seg
+
+    def test_duplicate_name_rejected(self):
+        ns = NameService()
+        ns.register(Segment(ns.allocate_segid(), "buf", 1, 0, PAGE_SIZE))
+        with pytest.raises(SegmentError):
+            ns.register(Segment(ns.allocate_segid(), "buf", 1, 0, PAGE_SIZE))
+
+    def test_unregister(self):
+        ns = NameService()
+        seg = Segment(ns.allocate_segid(), "buf", 1, 0, PAGE_SIZE)
+        ns.register(seg)
+        ns.unregister(seg.segid)
+        assert not seg.alive
+        with pytest.raises(SegmentError):
+            ns.lookup("buf")
+
+    def test_queries_by_owner_and_attacher(self):
+        ns = NameService()
+        seg = Segment(ns.allocate_segid(), "buf", 1, 0, PAGE_SIZE)
+        ns.register(seg)
+        seg.attach_for(2)
+        assert ns.segments_owned_by(1) == [seg]
+        assert ns.segments_attached_by(2) == [seg]
+        assert ns.segments_owned_by(2) == []
+
+
+class TestXememService:
+    def test_make_requires_ownership(self, stack):
+        _, mcp, e1, _ = stack
+        with pytest.raises(SegmentError):
+            mcp.xemem.make(e1.enclave_id, "bad", 63 * GiB, MiB)
+
+    def test_full_attach_flow_updates_kernel_map(self, stack):
+        _, mcp, e1, e2 = stack
+        task = e1.kernel.spawn("p", mem_bytes=MiB)
+        seg = mcp.xemem.make(e1.enclave_id, "buf", task.slices[0].start, MiB)
+        assert not e2.kernel.memmap.contains(seg.start)
+        mcp.xemem.attach(e2.enclave_id, seg.segid)
+        assert e2.kernel.memmap.contains(seg.start, MiB)
+        mcp.xemem.detach(e2.enclave_id, seg.segid)
+        assert not e2.kernel.memmap.contains(seg.start)
+
+    def test_get_by_name(self, stack):
+        _, mcp, e1, _ = stack
+        task = e1.kernel.spawn("p", mem_bytes=MiB)
+        seg = mcp.xemem.make(e1.enclave_id, "named", task.slices[0].start, MiB)
+        assert mcp.xemem.get("named") == seg.segid
+
+    def test_host_side_attach_has_no_kernel(self, stack):
+        _, mcp, e1, _ = stack
+        task = e1.kernel.spawn("p", mem_bytes=MiB)
+        seg = mcp.xemem.make(e1.enclave_id, "buf", task.slices[0].start, MiB)
+        att = mcp.xemem.attach(HOST_ENCLAVE_ID, seg.segid)
+        assert att.enclave_id == HOST_ENCLAVE_ID
+
+    def test_remove_requires_detach(self, stack):
+        _, mcp, e1, e2 = stack
+        task = e1.kernel.spawn("p", mem_bytes=MiB)
+        seg = mcp.xemem.make(e1.enclave_id, "buf", task.slices[0].start, MiB)
+        mcp.xemem.attach(e2.enclave_id, seg.segid)
+        with pytest.raises(SegmentError):
+            mcp.xemem.remove(seg.segid)
+        mcp.xemem.detach(e2.enclave_id, seg.segid)
+        mcp.xemem.remove(seg.segid)
+
+    def test_force_remove_leaves_stale_cokernel_state(self, stack):
+        """The Section-V bug: host reclaims, co-kernel map keeps the
+        stale range."""
+        _, mcp, e1, e2 = stack
+        task = e1.kernel.spawn("p", mem_bytes=MiB)
+        seg = mcp.xemem.make(e1.enclave_id, "buf", task.slices[0].start, MiB)
+        mcp.xemem.attach(e2.enclave_id, seg.segid)
+        stale = mcp.xemem.force_remove_buggy(seg.segid)
+        assert stale == [e2.enclave_id]
+        assert e2.kernel.memmap.contains(seg.start)  # stale belief
+
+    def test_attach_latency_grows_with_size(self, stack):
+        machine, mcp, e1, e2 = stack
+        task = e1.kernel.spawn("p", mem_bytes=64 * MiB)
+        core = e2.assignment.core_ids[0]
+        latencies = []
+        for i, size in enumerate((MiB, 16 * MiB, 64 * MiB)):
+            seg = mcp.xemem.make(
+                e1.enclave_id, f"s{i}", task.slices[0].start, size
+            )
+            t0 = machine.core(core).read_tsc()
+            mcp.xemem.attach(e2.enclave_id, seg.segid, core_hint=core)
+            latencies.append(machine.core(core).read_tsc() - t0)
+            mcp.xemem.detach(e2.enclave_id, seg.segid, core_hint=core)
+            mcp.xemem.remove(seg.segid)
+        assert latencies == sorted(latencies)
+
+    def test_xemem_syscall_surface(self, stack):
+        _, mcp, e1, e2 = stack
+        ptask = e1.kernel.spawn("p", mem_bytes=MiB)
+        segid = e1.kernel.syscall(
+            ptask, Syscall.XEMEM_MAKE, "via-syscall", ptask.slices[0].start, MiB
+        )
+        ctask = e2.kernel.spawn("c")
+        got = e2.kernel.syscall(ctask, Syscall.XEMEM_GET, "via-syscall")
+        assert got == segid
+        addr = e2.kernel.syscall(ctask, Syscall.XEMEM_ATTACH, segid)
+        assert addr == ptask.slices[0].start
+        assert segid in ctask.attachments
+        # Cross-enclave data flow through user accesses.
+        c0 = e1.assignment.core_ids[0]
+        c1 = e2.assignment.core_ids[0]
+        e1.kernel.user_access(ptask, c0, addr, 8, write=True)
+        data = e2.kernel.user_access(ctask, c1, addr, 8, write=False)
+        assert data == b"\xab" * 8
+        e2.kernel.syscall(ctask, Syscall.XEMEM_DETACH, segid)
+        assert segid not in ctask.attachments

@@ -1,0 +1,38 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "Benchmark Name" in capsys.readouterr().out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig5a", "fig5b"]) == 0
+        out = capsys.readouterr().out
+        assert "STREAM" in out and "RandomAccess" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fault_demo(self, capsys):
+        assert main(["fault-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "FAULT DOSSIER" in out
+        assert "host survived: True" in out
+
+    def test_every_registered_experiment_runs(self, capsys):
+        # 'all' is the expensive path; exercise it once.
+        assert main(["run", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out and "Ablation" in out

@@ -1,0 +1,358 @@
+"""Property-based tests on the core data structures.
+
+The invariants here are the ones the whole protection story leans on:
+interval maps never overlap or leak bytes, EPT mapping is a faithful
+invertible identity translation under arbitrary map/unmap sequences,
+the guest memory map mirrors set semantics, command queues never lose
+or reorder commands, and whitelists are exact.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.commands import CommandQueue, CommandType
+from repro.core.ipi import IpiWhitelist
+from repro.hw.apic import IpiMessage
+from repro.hw.memory import PAGE_SIZE, IntervalMap, PhysicalMemory
+from repro.kitten.memmap import GuestMemoryMap, MemoryMapError
+from repro.vmx.ept import EptError, ExtendedPageTable, EptViolationInfo
+
+PAGES = 64  # work in a small 64-page universe for tractable examples
+
+
+# -- strategies ------------------------------------------------------------
+
+page_range = st.tuples(
+    st.integers(min_value=0, max_value=PAGES - 1),
+    st.integers(min_value=1, max_value=16),
+).map(lambda t: (t[0] * PAGE_SIZE, min(t[1], PAGES - t[0]) * PAGE_SIZE))
+
+nonempty_range = page_range.filter(lambda r: r[1] > 0)
+
+owners = st.sampled_from(["a", "b", "c", "free"])
+
+
+class TestIntervalMapProperties:
+    @given(st.lists(st.tuples(nonempty_range, owners), max_size=30))
+    def test_invariants_hold_under_arbitrary_assignment(self, ops):
+        imap = IntervalMap(0, PAGES * PAGE_SIZE, "free")
+        for (start, size), owner in ops:
+            imap.set(start, start + size, owner)
+            imap.check_invariants()
+
+    @given(st.lists(st.tuples(nonempty_range, owners), max_size=30))
+    def test_point_queries_match_last_writer(self, ops):
+        imap = IntervalMap(0, PAGES * PAGE_SIZE, "free")
+        # Shadow model: a plain per-page dict.
+        shadow = {page: "free" for page in range(PAGES)}
+        for (start, size), owner in ops:
+            imap.set(start, start + size, owner)
+            for page in range(start // PAGE_SIZE, (start + size) // PAGE_SIZE):
+                shadow[page] = owner
+        for page, expected in shadow.items():
+            assert imap.get(page * PAGE_SIZE) == expected
+
+    @given(st.lists(st.tuples(nonempty_range, owners), max_size=30))
+    def test_total_bytes_conserved(self, ops):
+        imap = IntervalMap(0, PAGES * PAGE_SIZE, "free")
+        for (start, size), owner in ops:
+            imap.set(start, start + size, owner)
+        total = sum(e - s for s, e, _ in imap.intervals())
+        assert total == PAGES * PAGE_SIZE
+
+
+class TestEptProperties:
+    @given(st.lists(nonempty_range, max_size=12))
+    def test_mapped_ranges_translate_identity(self, ranges):
+        ept = ExtendedPageTable()
+        mapped: set[int] = set()  # page numbers
+        for start, size in ranges:
+            pages = set(range(start // PAGE_SIZE, (start + size) // PAGE_SIZE))
+            try:
+                ept.map_region(start, size)
+            except EptError:
+                assert pages & mapped  # only overlap may be rejected
+                continue
+            mapped |= pages
+        ept.check_invariants()
+        for page in range(PAGES):
+            addr = page * PAGE_SIZE + 7
+            result = ept.translate(addr)
+            if page in mapped:
+                assert not isinstance(result, EptViolationInfo)
+                assert result[0] == addr  # identity
+            else:
+                assert isinstance(result, EptViolationInfo)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), nonempty_range), min_size=1, max_size=24
+        )
+    )
+    def test_map_unmap_sequences_match_set_model(self, ops):
+        """EPT state under arbitrary valid map/unmap = plain set algebra."""
+        ept = ExtendedPageTable()
+        model: set[int] = set()
+        for is_map, (start, size) in ops:
+            pages = set(range(start // PAGE_SIZE, (start + size) // PAGE_SIZE))
+            if is_map:
+                if pages & model:
+                    continue  # controller never double-maps
+                ept.map_region(start, size)
+                model |= pages
+            else:
+                if not pages <= model:
+                    continue  # controller never blind-unmaps
+                ept.unmap_region(start, size)
+                model -= pages
+            ept.check_invariants()
+            assert ept.mapped_bytes == len(model) * PAGE_SIZE
+        for page in range(PAGES):
+            assert ept.is_mapped(page * PAGE_SIZE) == (page in model)
+
+    @given(nonempty_range)
+    def test_coalescing_never_changes_translation(self, r):
+        start, size = r
+        flat = ExtendedPageTable()
+        fat = ExtendedPageTable()
+        flat.map_region(start, size, coalesce=False)
+        fat.map_region(start, size, coalesce=True)
+        for addr in range(start, start + size, PAGE_SIZE):
+            f = flat.translate(addr + 3)
+            g = fat.translate(addr + 3)
+            assert f[0] == g[0]
+        assert flat.mapped_bytes == fat.mapped_bytes
+
+
+class TestGuestMemoryMapProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), nonempty_range), min_size=1, max_size=24
+        )
+    )
+    def test_matches_set_model(self, ops):
+        mm = GuestMemoryMap()
+        model: set[int] = set()
+        for is_add, (start, size) in ops:
+            pages = set(range(start // PAGE_SIZE, (start + size) // PAGE_SIZE))
+            if is_add:
+                if pages & model:
+                    continue
+                mm.add(start, size)
+                model |= pages
+            else:
+                if not pages <= model:
+                    continue
+                mm.remove(start, size)
+                model -= pages
+            mm.check_invariants()
+        assert mm.total_bytes == len(model) * PAGE_SIZE
+        for page in range(PAGES):
+            assert mm.contains(page * PAGE_SIZE) == (page in model)
+
+
+class TestCommandQueueProperties:
+    @given(
+        st.lists(
+            st.sampled_from(list(CommandType)), min_size=1, max_size=40
+        )
+    )
+    def test_fifo_no_loss_no_reorder(self, types):
+        memory = PhysicalMemory(PAGE_SIZE)
+        queue = CommandQueue(memory, 0, capacity=8)
+        sent = []
+        received = []
+        for i, ctype in enumerate(types):
+            sent.append(queue.enqueue(ctype, arg0=i))
+            # Drain opportunistically to stay under capacity.
+            if queue.pending() >= 8 or i == len(types) - 1:
+                while (cmd := queue.dequeue()) is not None:
+                    received.append(cmd)
+                    queue.mark_completed(cmd)
+        assert received == sent
+        assert all(queue.is_completed(c) for c in sent)
+
+
+class TestGuestPageTableProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), nonempty_range), min_size=1, max_size=20
+        )
+    )
+    def test_matches_set_model_with_splits(self, ops):
+        """Arbitrary map/partial-unmap sequences = set algebra, even when
+        unmaps carve through huge leaves."""
+        from repro.kitten.pagetable import GuestPageTable, PageTableError
+
+        pt = GuestPageTable()
+        model: set[int] = set()
+        for is_map, (start, size) in ops:
+            pages = set(range(start // PAGE_SIZE, (start + size) // PAGE_SIZE))
+            if is_map:
+                if pages & model:
+                    continue
+                pt.map(start, start, size)
+                model |= pages
+            else:
+                if not pages <= model:
+                    continue  # kernels never blind-unmap
+                pt.unmap(start, size)
+                model -= pages
+            assert pt.mapped_bytes() == len(model) * PAGE_SIZE
+        for page in range(PAGES):
+            addr = page * PAGE_SIZE + 5
+            result = pt.walk(addr)
+            if page in model:
+                assert result is not None and result.paddr == addr
+            else:
+                assert result is None
+
+    @given(nonempty_range)
+    def test_walk_agrees_with_covers(self, r):
+        from repro.kitten.pagetable import GuestPageTable
+
+        start, size = r
+        pt = GuestPageTable()
+        pt.map(start, start, size)
+        assert pt.covers(start, size)
+        assert not pt.covers(start, size + PAGE_SIZE)
+
+
+class TestPackingProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                 max_size=8, unique=True),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=PAGES - 2),
+                st.integers(min_value=1, max_value=4),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_boot_params_roundtrip(self, enclave_id, cores, raw_regions):
+        from repro.hw.memory import MemoryRegion
+        from repro.pisces.bootparams import PiscesBootParams
+
+        regions = [
+            MemoryRegion(start * PAGE_SIZE, size * PAGE_SIZE)
+            for start, size in raw_regions
+        ]
+        params = PiscesBootParams(enclave_id, cores, regions, channel_addr=123)
+        clone = PiscesBootParams.unpack(params.pack())
+        assert clone.enclave_id == enclave_id
+        assert clone.core_ids == cores
+        assert clone.regions == regions
+        assert clone.channel_addr == 123
+
+    @given(
+        st.sampled_from(list(CommandType)),
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.booleans(),
+    )
+    def test_command_slot_roundtrip(self, ctype, arg0, arg1, completed):
+        from repro.core.commands import Command
+
+        cmd = Command(ctype, seq=7, arg0=arg0, arg1=arg1)
+        clone, done = Command.unpack(cmd.pack(completed=completed))
+        assert clone == cmd
+        assert done == completed
+
+
+class TestXememLifecycleProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["make", "attach", "detach", "remove"]),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_segment_churn_keeps_maps_consistent(self, ops):
+        """Arbitrary make/attach/detach/remove sequences: the attacher's
+        memory map and EPT always agree with the segment bookkeeping."""
+        from repro.core.features import CovirtConfig
+        from repro.harness.env import CovirtEnvironment, Layout
+        from repro.xemem.segment import SegmentError
+
+        GiB = 1 << 30
+        env = CovirtEnvironment()
+        owner = env.launch(
+            Layout("o", {0: 1}, {0: GiB}), CovirtConfig.memory_only(), "o"
+        )
+        attacher = env.launch(
+            Layout("a", {1: 1}, {1: GiB}), CovirtConfig.memory_only(), "a"
+        )
+        task = owner.kernel.spawn("exp", mem_bytes=1 << 22)
+        base = task.slices[0].start
+        segids: list[int] = []
+        attached: set[int] = set()
+        counter = 0
+        for op, idx in ops:
+            try:
+                if op == "make":
+                    seg = env.mcp.xemem.make(
+                        owner.enclave_id, f"s{counter}", base, 1 << 20
+                    )
+                    counter += 1
+                    segids.append(seg.segid)
+                elif op == "attach" and segids:
+                    segid = segids[idx % len(segids)]
+                    if segid not in attached and not attached:
+                        # One live attachment at a time: the owner range
+                        # is shared, so concurrent attaches would overlap
+                        # in the attacher's map.
+                        env.mcp.xemem.attach(attacher.enclave_id, segid)
+                        attached.add(segid)
+                elif op == "detach" and attached:
+                    segid = sorted(attached)[idx % len(attached)]
+                    env.mcp.xemem.detach(attacher.enclave_id, segid)
+                    attached.discard(segid)
+                elif op == "remove" and segids:
+                    segid = segids[idx % len(segids)]
+                    if segid not in attached:
+                        env.mcp.xemem.remove(segid)
+                        segids.remove(segid)
+            except SegmentError:
+                pass
+            # Invariant: attacher sees the region iff an attachment lives.
+            ctx = env.controller.context_for(attacher.enclave_id)
+            assert attacher.kernel.memmap.contains(base) == bool(attached)
+            assert ctx.ept.table.is_mapped(base) == bool(attached)
+            attacher.kernel.memmap.check_invariants()
+            ctx.ept.table.check_invariants()
+
+
+class TestWhitelistProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=48, max_value=120),
+            ),
+            max_size=40,
+        )
+    )
+    def test_exactly_reflects_grant_history(self, ops):
+        wl = IpiWhitelist()
+        model: set[tuple[int, int]] = set()
+        for allow, core, vector in ops:
+            if allow:
+                wl.allow(core, vector)
+                model.add((core, vector))
+            else:
+                wl.revoke(core, vector)
+                model.discard((core, vector))
+        assert wl.allowed_pairs() == model
+        for core in range(8):
+            for vector in (48, 90, 120):
+                permitted, _ = wl.permits(IpiMessage(0, core, vector))
+                assert permitted == ((core, vector) in model)

@@ -1,0 +1,282 @@
+"""Randomised stress: a long operation walk over the full stack.
+
+A seeded random driver launches and destroys enclaves (mixed kernels,
+mixed protection), hot-plugs memory, churns XEMEM segments, sprays
+legitimate and errant IPIs, and occasionally injects faults — while a
+set of global invariants is checked after every step:
+
+* physical-memory ownership is conserved and structurally sound;
+* the host never dies and its canaries are never corrupted, as long as
+  every enclave is protected;
+* every protected enclave's EPT covers exactly its assignment plus its
+  live attachments;
+* no two enclaves' assignments overlap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.linuxhost.host import LINUX_OWNER
+from repro.pisces.enclave import Enclave, EnclaveState
+from repro.pisces.kmod import PiscesError
+from repro.hw.memory import OwnershipError
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+CONFIG_CHOICES = [
+    CovirtConfig.memory_only(),
+    CovirtConfig.memory_ipi(),
+    CovirtConfig.full(),
+]
+
+
+class StressDriver:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.env = CovirtEnvironment()
+        self.live: list[Enclave] = []
+        self.segments: list[tuple[int, int]] = []  # (segid, owner_id)
+        self.attachments: list[tuple[int, int]] = []  # (segid, attacher_id)
+        self.hotplugged: dict[int, list] = {}
+        self.faults = 0
+        self.steps_taken = 0
+
+    # -- operations ------------------------------------------------------
+
+    def op_launch(self) -> None:
+        zone = self.rng.randint(0, 1)
+        kernel = self.rng.choice(["kitten", "kitten", "nautilus"])
+        layout = Layout(
+            "s", {zone: 1}, {zone: self.rng.choice([GiB // 2, GiB])}
+        )
+        spec = layout.spec(f"stress-{len(self.live)}")
+        from repro.pisces.resources import ResourceSpec
+
+        spec = ResourceSpec(
+            cores_per_zone=spec.cores_per_zone,
+            mem_per_zone=spec.mem_per_zone,
+            name=spec.name,
+            kernel_type=kernel,
+        )
+        config = self.rng.choice(CONFIG_CHOICES)
+        try:
+            enclave = self.env.controller.launch(spec, config)
+        except (PiscesError, OwnershipError):
+            return  # machine full — fine
+        self.live.append(enclave)
+        self.hotplugged[enclave.enclave_id] = []
+
+    def op_destroy(self) -> None:
+        if not self.live:
+            return
+        enclave = self.live.pop(self.rng.randrange(len(self.live)))
+        self._forget_enclave(enclave.enclave_id)
+        if enclave.state is EnclaveState.RUNNING:
+            self.env.mcp.shutdown_enclave(enclave.enclave_id)
+
+    def _forget_enclave(self, enclave_id: int) -> None:
+        # Segments the enclave owned die with it (the MCP revokes every
+        # remote attachment), and its own attachments are detached.
+        doomed = {segid for segid, owner in self.segments if owner == enclave_id}
+        self.segments = [s for s in self.segments if s[1] != enclave_id]
+        self.attachments = [
+            (segid, attacher)
+            for segid, attacher in self.attachments
+            if attacher != enclave_id and segid not in doomed
+        ]
+        self.hotplugged.pop(enclave_id, None)
+
+    def op_hotplug_add(self) -> None:
+        enclave = self._pick_running()
+        if enclave is None:
+            return
+        try:
+            region = self.env.mcp.kmod.add_memory(
+                enclave.enclave_id, self.rng.choice([2, 4, 8]) * MiB,
+                self.rng.randint(0, 1),
+            )
+        except OwnershipError:
+            return
+        self.hotplugged[enclave.enclave_id].append(region)
+
+    def op_hotplug_remove(self) -> None:
+        enclave = self._pick_running()
+        if enclave is None:
+            return
+        regions = self.hotplugged.get(enclave.enclave_id) or []
+        if not regions:
+            return
+        region = regions.pop(self.rng.randrange(len(regions)))
+        self.env.mcp.kmod.remove_memory(enclave.enclave_id, region)
+
+    def op_make_segment(self) -> None:
+        enclave = self._pick_running()
+        if enclave is None or enclave.kernel is None:
+            return
+        kernel = enclave.kernel
+        size = self.rng.choice([64 * 1024, MiB])
+        try:
+            if hasattr(kernel, "kmalloc"):
+                start = kernel.kmalloc(size).start
+            else:
+                start = kernel.kmalloc_bytes(size)
+        except Exception:
+            return
+        seg = self.env.mcp.xemem.make(
+            enclave.enclave_id, f"seg-{self.steps_taken}", start, size
+        )
+        self.segments.append((seg.segid, enclave.enclave_id))
+
+    def op_attach(self) -> None:
+        if not self.segments:
+            return
+        segid, owner_id = self.rng.choice(self.segments)
+        attacher = self._pick_running(exclude=owner_id)
+        if attacher is None:
+            return
+        if (segid, attacher.enclave_id) in self.attachments:
+            return
+        try:
+            self.env.mcp.xemem.attach(attacher.enclave_id, segid)
+        except Exception:
+            return
+        self.attachments.append((segid, attacher.enclave_id))
+
+    def op_detach(self) -> None:
+        if not self.attachments:
+            return
+        segid, attacher_id = self.attachments.pop(
+            self.rng.randrange(len(self.attachments))
+        )
+        attacher = self.env.mcp.kmod.enclaves.get(attacher_id)
+        if attacher is None or attacher.state is not EnclaveState.RUNNING:
+            return
+        try:
+            self.env.mcp.xemem.detach(attacher_id, segid)
+        except Exception:
+            pass
+
+    def op_touch_legit(self) -> None:
+        enclave = self._pick_running()
+        if enclave is None or not enclave.assignment.regions:
+            return
+        region = self.rng.choice(enclave.assignment.regions)
+        offset = self.rng.randrange(max(1, region.num_pages)) * 4096
+        addr = min(region.start + offset, region.end - 4096)
+        enclave.port.read(enclave.assignment.core_ids[0], addr, 8)
+
+    def op_errant_ipi(self) -> None:
+        enclave = self._pick_running()
+        if enclave is None:
+            return
+        enclave.port.send_ipi(
+            enclave.assignment.core_ids[0],
+            self.rng.randrange(self.env.machine.num_cores),
+            self.rng.randrange(48, 200),
+        )
+
+    def op_inject_fault(self) -> None:
+        enclave = self._pick_running()
+        if enclave is None:
+            return
+        try:
+            enclave.port.read(enclave.assignment.core_ids[0], 63 * GiB, 8)
+        except EnclaveFaultError:
+            self.faults += 1
+            if enclave in self.live:
+                self.live.remove(enclave)
+            self._forget_enclave(enclave.enclave_id)
+
+    def _pick_running(self, exclude: int | None = None) -> Enclave | None:
+        candidates = [
+            e
+            for e in self.live
+            if e.state is EnclaveState.RUNNING and e.enclave_id != exclude
+        ]
+        return self.rng.choice(candidates) if candidates else None
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        machine = self.env.machine
+        machine.memory.check_invariants()
+        # Ownership conservation.
+        total = sum(
+            end - start
+            for start, end, _ in machine.memory._owners.intervals()
+        )
+        assert total == machine.memory.size
+        # Host health (every enclave is protected, so nothing may leak).
+        assert self.env.host.alive
+        assert self.env.host.verify_integrity()
+        # Assignment disjointness + EPT coverage.
+        seen_cores: set[int] = set()
+        for enclave in self.live:
+            if enclave.state is not EnclaveState.RUNNING:
+                continue
+            overlap = seen_cores & set(enclave.assignment.core_ids)
+            assert not overlap, f"core double-assignment: {overlap}"
+            seen_cores |= set(enclave.assignment.core_ids)
+            ctx = self.env.controller.context_for(enclave.enclave_id)
+            if ctx is None or ctx.ept is None:
+                continue
+            ctx.ept.table.check_invariants()
+            attached = sum(
+                self.env.mcp.xemem.names.by_segid(segid).size
+                for segid, attacher in self.attachments
+                if attacher == enclave.enclave_id
+            )
+            assert (
+                ctx.ept.mapped_bytes
+                == enclave.assignment.total_memory + attached
+            )
+
+    # -- the walk ---------------------------------------------------------
+
+    OPS = [
+        ("launch", 3),
+        ("destroy", 1),
+        ("hotplug_add", 2),
+        ("hotplug_remove", 2),
+        ("make_segment", 2),
+        ("attach", 3),
+        ("detach", 2),
+        ("touch_legit", 4),
+        ("errant_ipi", 2),
+        ("inject_fault", 1),
+    ]
+
+    def run(self, steps: int) -> None:
+        names = [name for name, weight in self.OPS for _ in range(weight)]
+        for _ in range(steps):
+            self.steps_taken += 1
+            getattr(self, f"op_{self.rng.choice(names)}")()
+            self.check_invariants()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+def test_stress_walk(seed):
+    driver = StressDriver(seed)
+    driver.run(steps=120)
+    # The walk must have actually exercised the machine.
+    assert driver.steps_taken == 120
+    # Final teardown returns the machine to pristine.
+    for enclave in list(driver.live):
+        if enclave.state is EnclaveState.RUNNING:
+            driver.env.mcp.shutdown_enclave(enclave.enclave_id)
+    assert driver.env.host.is_pristine()
+
+
+def test_stress_faults_happen_and_are_contained():
+    driver = StressDriver(seed=99)
+    driver.run(steps=200)
+    assert driver.faults > 0  # the walk did crash enclaves
+    assert driver.env.host.alive
+    assert len(driver.env.controller.fault_log) == driver.faults

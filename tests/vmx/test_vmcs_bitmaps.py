@@ -1,0 +1,183 @@
+"""VMCS validation, MSR/IO bitmaps, vAPIC, posted-interrupt descriptor."""
+
+import pytest
+
+from repro.hw.apic import DeliveryMode, IpiMessage
+from repro.hw.msr import MSR
+from repro.vmx.ept import ExtendedPageTable
+from repro.vmx.io_bitmap import IoBitmap
+from repro.vmx.msr_bitmap import MsrBitmap
+from repro.vmx.posted import PostedInterruptDescriptor
+from repro.vmx.vapic import VapicMode, VirtualApicPage
+from repro.vmx.vmcs import ExecutionControls, GuestState, Vmcs, VmcsValidationError
+
+
+def valid_vmcs(**overrides) -> Vmcs:
+    vmcs = Vmcs(core_id=0, guest=GuestState(entry_point=0x10000, boot_params_gpa=0x1000))
+    for key, value in overrides.items():
+        setattr(vmcs, key, value)
+    return vmcs
+
+
+class TestVmcsValidation:
+    def test_minimal_valid(self):
+        valid_vmcs().validate()
+
+    def test_bad_revision(self):
+        vmcs = valid_vmcs(revision=0xBAD)
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+
+    def test_missing_entry_point(self):
+        vmcs = valid_vmcs(guest=GuestState(entry_point=0))
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+
+    def test_ept_enabled_requires_table(self):
+        vmcs = valid_vmcs()
+        vmcs.controls.enable_ept = True
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+        vmcs.ept = ExtendedPageTable()
+        vmcs.validate()
+
+    def test_msr_bitmap_required(self):
+        vmcs = valid_vmcs()
+        vmcs.controls.use_msr_bitmap = True
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+
+    def test_io_bitmap_required(self):
+        vmcs = valid_vmcs()
+        vmcs.controls.use_io_bitmap = True
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+
+    def test_vapic_requires_page(self):
+        vmcs = valid_vmcs()
+        vmcs.controls.vapic_mode = VapicMode.TRAP
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+        vmcs.vapic_page = VirtualApicPage(0)
+        vmcs.validate()
+
+    def test_posted_requires_descriptor_and_exiting(self):
+        vmcs = valid_vmcs()
+        vmcs.controls.vapic_mode = VapicMode.POSTED
+        vmcs.vapic_page = VirtualApicPage(0)
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+        vmcs.pi_descriptor = PostedInterruptDescriptor(242)
+        vmcs.controls.external_interrupt_exiting = False
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+        vmcs.controls.external_interrupt_exiting = True
+        vmcs.validate()
+
+    def test_guest_must_be_long_mode_identity(self):
+        vmcs = valid_vmcs(
+            guest=GuestState(entry_point=0x10000, long_mode=False)
+        )
+        with pytest.raises(VmcsValidationError):
+            vmcs.validate()
+
+    def test_touch_bumps_generation(self):
+        vmcs = valid_vmcs()
+        g = vmcs.generation
+        vmcs.touch()
+        assert vmcs.generation == g + 1
+
+
+class TestMsrBitmap:
+    def test_default_traps_unknown(self):
+        bitmap = MsrBitmap()
+        assert bitmap.should_exit(0x9999, is_write=True)
+        assert bitmap.should_exit(0x9999, is_write=False)
+
+    def test_benign_hot_msrs_pass_through(self):
+        bitmap = MsrBitmap()
+        assert not bitmap.should_exit(MSR.IA32_FS_BASE, is_write=True)
+        assert not bitmap.should_exit(MSR.IA32_TSC_AUX, is_write=False)
+
+    def test_allow_all_never_exits(self):
+        bitmap = MsrBitmap.allow_all()
+        assert not bitmap.should_exit(MSR.IA32_APIC_BASE, is_write=True)
+
+    def test_explicit_trap_overrides_passthrough(self):
+        bitmap = MsrBitmap()
+        bitmap.trap(MSR.IA32_FS_BASE, write=True, read=False)
+        assert bitmap.should_exit(MSR.IA32_FS_BASE, is_write=True)
+        assert not bitmap.should_exit(MSR.IA32_FS_BASE, is_write=False)
+
+    def test_passthrough_added(self):
+        bitmap = MsrBitmap()
+        bitmap.passthrough(0x1234)
+        assert not bitmap.should_exit(0x1234, is_write=True)
+
+
+class TestIoBitmap:
+    def test_default_traps(self):
+        assert IoBitmap().should_exit(0x3F8)
+
+    def test_allow(self):
+        bitmap = IoBitmap()
+        bitmap.allow(0x3F8)
+        assert not bitmap.should_exit(0x3F8)
+
+    def test_allow_range(self):
+        bitmap = IoBitmap()
+        bitmap.allow_range(0x3F8, 0x3FF)
+        assert not bitmap.should_exit(0x3FB)
+        assert bitmap.should_exit(0x400)
+
+    def test_allow_all_then_trap(self):
+        bitmap = IoBitmap.allow_all()
+        assert not bitmap.should_exit(0x70)
+        bitmap.trap(0x70)
+        assert bitmap.should_exit(0x70)
+
+    def test_bad_port(self):
+        with pytest.raises(ValueError):
+            IoBitmap().should_exit(0x10000)
+
+
+class TestVapicPage:
+    def test_icr_encode_decode_roundtrip(self):
+        page = VirtualApicPage(0)
+        value = page.compose_icr(5, 100, DeliveryMode.FIXED)
+        assert page.decode_icr(value) == (5, 100, DeliveryMode.FIXED)
+        value = page.compose_icr(3, 2, DeliveryMode.NMI)
+        assert page.decode_icr(value) == (3, 2, DeliveryMode.NMI)
+
+    def test_record_write(self):
+        page = VirtualApicPage(0)
+        msg = IpiMessage(0, 1, 64)
+        page.record_write(msg)
+        assert page.icr_writes == [msg]
+        assert page.decode_icr(page.icr_value)[0] == 1
+
+
+class TestPostedInterruptDescriptor:
+    def test_first_post_needs_notification(self):
+        desc = PostedInterruptDescriptor(242)
+        assert desc.post(100) is True
+        assert desc.outstanding
+
+    def test_subsequent_posts_coalesce(self):
+        desc = PostedInterruptDescriptor(242)
+        desc.post(100)
+        assert desc.post(101) is False
+        assert desc.coalesced_posts == 1
+
+    def test_drain_returns_sorted_and_resets(self):
+        desc = PostedInterruptDescriptor(242)
+        desc.post(101)
+        desc.post(64)
+        assert desc.drain() == [64, 101]
+        assert not desc.has_pending
+        assert not desc.outstanding
+        assert desc.post(70) is True  # needs a fresh notification
+
+    def test_bad_vector(self):
+        with pytest.raises(ValueError):
+            PostedInterruptDescriptor(242).post(256)

@@ -1,0 +1,90 @@
+"""Cross-validation: the functional TLB vs the analytic miss model.
+
+The benchmarks use `estimate_miss_rate` because workload phases are too
+big to simulate access-by-access.  This test closes the loop: drive
+thousands of *real* accesses through a protected enclave's port (real
+TLB, real EPT walks) and check the measured miss rate against what the
+analytic model predicts for the same footprint and pattern.
+"""
+
+import random
+
+import pytest
+
+from repro.core.features import CovirtConfig, Feature
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.tlb import AccessPattern, TlbStats, estimate_miss_rate
+
+MiB = 1 << 20
+
+
+@pytest.fixture
+def enclave_4k():
+    """A protected enclave whose EPT (and therefore TLB entries) are
+    4 KiB-granular, matching the analytic model's page size."""
+    env = CovirtEnvironment()
+    config = CovirtConfig(
+        features=Feature.MEMORY | Feature.EXCEPTIONS, ept_coalescing=False
+    )
+    enclave = env.launch(Layout("1c", {0: 1}, {0: 64 * MiB}), config)
+    return env, enclave
+
+
+def drive(env, enclave, footprint_bytes: int, accesses: int, pattern: str):
+    bsp = enclave.assignment.core_ids[0]
+    core = env.machine.core(bsp)
+    base = enclave.assignment.regions[0].start
+    rng = random.Random(7)
+    pages = footprint_bytes // PAGE_SIZE
+    # Warm-up pass so compulsory misses don't skew the steady state.
+    for page in range(pages):
+        enclave.port.read(bsp, base + page * PAGE_SIZE, 1)
+    core.tlb.stats = TlbStats()
+    for _ in range(accesses):
+        if pattern == "random":
+            page = rng.randrange(pages)
+        else:  # sequential sweep with wraparound
+            page = drive.cursor = (getattr(drive, "cursor", 0) + 1) % pages
+        enclave.port.read(bsp, base + page * PAGE_SIZE, 1)
+    return core.tlb.stats.miss_rate
+
+
+class TestModelValidation:
+    def test_random_beyond_reach_matches_model(self, enclave_4k):
+        env, enclave = enclave_4k
+        footprint = 32 * MiB  # >> 6 MiB TLB reach
+        measured = drive(env, enclave, footprint, accesses=4000, pattern="random")
+        predicted = estimate_miss_rate(footprint, AccessPattern.RANDOM)
+        assert measured == pytest.approx(predicted, abs=0.08)
+
+    def test_random_within_reach_matches_model(self, enclave_4k):
+        env, enclave = enclave_4k
+        footprint = 2 * MiB  # well under TLB reach
+        measured = drive(env, enclave, footprint, accesses=3000, pattern="random")
+        assert measured < 0.02
+        assert estimate_miss_rate(footprint, AccessPattern.RANDOM) < 0.02
+
+    def test_miss_rate_monotone_in_footprint_functionally(self, enclave_4k):
+        env, enclave = enclave_4k
+        rates = [
+            drive(env, enclave, fp, accesses=2500, pattern="random")
+            for fp in (4 * MiB, 16 * MiB, 48 * MiB)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_ept_walk_costs_show_up_in_tsc(self, enclave_4k):
+        """Misses must cost simulated time: the TSC advances more per
+        access when the footprint exceeds TLB reach."""
+        env, enclave = enclave_4k
+        bsp = enclave.assignment.core_ids[0]
+        core = env.machine.core(bsp)
+
+        def cycles_per_access(footprint):
+            start = core.read_tsc()
+            drive(env, enclave, footprint, accesses=1500, pattern="random")
+            return core.read_tsc() - start
+
+        cheap = cycles_per_access(2 * MiB)
+        expensive = cycles_per_access(48 * MiB)
+        assert expensive > cheap * 1.5

@@ -1,0 +1,88 @@
+"""The workloads are real codes: each reference kernel computes a
+checkable numerical result."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.hpcg import Hpcg
+from repro.workloads.lammps import LAMMPS_PROBLEMS, Lammps
+from repro.workloads.minife import MiniFE
+from repro.workloads.randomaccess import RandomAccess, hpcc_random_stream
+from repro.workloads.selfish import SelfishDetour
+from repro.workloads.stream import Stream
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestStream:
+    def test_triad_chain_exact(self, rng):
+        result = Stream().reference_kernel(rng)
+        assert result["triad_max_error"] < 1e-12
+
+    def test_deterministic_given_seed(self):
+        r1 = Stream().reference_kernel(np.random.default_rng(7))
+        r2 = Stream().reference_kernel(np.random.default_rng(7))
+        assert r1["checksum"] == r2["checksum"]
+
+
+class TestRandomAccess:
+    def test_gups_self_check_passes(self, rng):
+        result = RandomAccess().reference_kernel(rng)
+        assert result["passed"]
+        assert result["errors"] == 0  # single-threaded: XOR fully undoes
+
+    def test_hpcc_stream_is_nontrivial(self):
+        stream = hpcc_random_stream(1000)
+        assert len(np.unique(stream)) > 990  # essentially no repeats
+
+    def test_hpcc_stream_deterministic(self):
+        assert np.array_equal(hpcc_random_stream(100), hpcc_random_stream(100))
+
+
+class TestHpcg:
+    def test_cg_converges(self, rng):
+        result = Hpcg().reference_kernel(rng)
+        assert result["converged"]
+        assert result["iterations"] < 300
+
+    def test_residual_tiny(self, rng):
+        assert Hpcg().reference_kernel(rng)["relative_residual"] < 1e-7
+
+
+class TestMiniFE:
+    def test_assembled_operator_spd(self, rng):
+        result = MiniFE().reference_kernel(rng)
+        assert result["spd_check"]
+
+    def test_cg_converges(self, rng):
+        result = MiniFE().reference_kernel(rng)
+        assert result["converged"]
+
+
+class TestLammps:
+    @pytest.mark.parametrize("problem", ["lj", "eam", "chain"])
+    def test_conservative_systems_conserve_energy(self, problem, rng):
+        result = Lammps(problem).reference_kernel(rng)
+        assert result["conserved"], (
+            f"{problem} drifted {result['relative_drift']:.3%}"
+        )
+
+    def test_chute_runs_bounded(self, rng):
+        result = Lammps("chute").reference_kernel(rng)
+        assert np.isfinite(result["energy_last"])
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError):
+            Lammps("nope")
+
+    def test_problem_catalogue(self):
+        assert set(LAMMPS_PROBLEMS) == {"lj", "eam", "chain", "chute"}
+
+
+class TestSelfishDetour:
+    def test_recovers_planted_noise(self, rng):
+        result = SelfishDetour().reference_kernel(rng)
+        assert result["detours"] == result["expected_events"]
