@@ -74,6 +74,122 @@ def run_fault_demo() -> int:
     return 0
 
 
+def run_recovery_demo() -> int:
+    """Inject every terminating Section-V fault class into supervised
+    enclaves under restart-with-backoff and print per-class MTTR."""
+    from repro.core.commands import CommandType
+    from repro.core.faults import EnclaveFaultError
+    from repro.core.features import CovirtConfig
+    from repro.harness.env import CovirtEnvironment, Layout
+    from repro.hw.interrupts import ExceptionVector
+    from repro.recovery import RecoveryMetrics, RecoveryPhase, RestartWithBackoff
+
+    GiB = 1 << 30
+    MiB = 1 << 20
+    layout = Layout("2c/2n", {0: 1, 1: 1}, {0: GiB, 1: GiB})
+
+    def policy() -> RestartWithBackoff:
+        return RestartWithBackoff(base_delay_cycles=100_000)
+
+    def wild_read(env: CovirtEnvironment):
+        """Memory-map misconfiguration: read far outside the enclave."""
+        svc = env.launch_supervised(layout, CovirtConfig.full(), policy(), name="wild")
+        bsp = svc.enclave.assignment.core_ids[0]
+        try:
+            svc.enclave.port.read(bsp, 50 * GiB, 8)
+        except EnclaveFaultError:
+            pass
+        return svc
+
+    def stale_segment(env: CovirtEnvironment):
+        """The paper's crash anecdote: touch a buggily-reclaimed segment."""
+        config = CovirtConfig.memory_only()
+        owner = env.launch(layout, config, name="owner")
+        svc = env.launch_supervised(layout, config, policy(), name="attacher")
+        task = owner.kernel.spawn("exporter", mem_bytes=MiB)
+        seg = env.mcp.xemem.make(
+            owner.enclave_id, "shared", task.slices[0].start, MiB
+        )
+        env.mcp.xemem.attach(svc.enclave.enclave_id, seg.segid)
+        core = svc.enclave.assignment.core_ids[0]
+        svc.enclave.kernel.touch(core, task.slices[0].start, 8)  # warm: works
+        env.mcp.xemem.force_remove_buggy(seg.segid)
+        try:
+            svc.enclave.kernel.touch(core, task.slices[0].start, 8, write=True)
+        except EnclaveFaultError:
+            pass
+        return svc
+
+    def double_fault(env: CovirtEnvironment):
+        """Abort-class exception with exception interposition on."""
+        svc = env.launch_supervised(layout, CovirtConfig.full(), policy(), name="df")
+        bsp = svc.enclave.assignment.core_ids[0]
+        try:
+            svc.enclave.port.raise_exception(bsp, ExceptionVector.DOUBLE_FAULT)
+        except EnclaveFaultError:
+            pass
+        return svc
+
+    def triple_fault(env: CovirtEnvironment):
+        """Abort escalation without exception interposition: the guest's
+        unhandled abort becomes a triple fault, which VMX always exits on."""
+        from repro.core.features import Feature
+
+        svc = env.launch_supervised(
+            layout, CovirtConfig(features=Feature.MEMORY), policy(), name="tf"
+        )
+        bsp = svc.enclave.assignment.core_ids[0]
+        try:
+            svc.enclave.port.raise_exception(bsp, ExceptionVector.DOUBLE_FAULT)
+        except EnclaveFaultError:
+            pass
+        return svc
+
+    def controller_terminate(env: CovirtEnvironment):
+        """Administrative TERMINATE through the command queue."""
+        svc = env.launch_supervised(layout, CovirtConfig.full(), policy(), name="ctl")
+        ctx = env.controller.context_for(svc.enclave.enclave_id)
+        bsp = svc.enclave.assignment.core_ids[0]
+        env.controller.issue_command_to(ctx, bsp, CommandType.TERMINATE)
+        return svc
+
+    scenarios = [
+        ("memory-map misconfiguration", wild_read),
+        ("stale XEMEM segment", stale_segment),
+        ("double fault", double_fault),
+        ("triple fault", triple_fault),
+        ("controller terminate", controller_terminate),
+    ]
+    combined = RecoveryMetrics()
+    failures = 0
+    for label, scenario in scenarios:
+        env = CovirtEnvironment()
+        svc = scenario(env)
+        recovered = svc.phase is RecoveryPhase.RUNNING and svc.incarnation > 1
+        print(
+            f"{label:32s} fault: {svc.history[-1].describe() if svc.history else '-':45s} "
+            f"→ {svc.phase.value}"
+            + (f" (incarnation {svc.incarnation})" if recovered else "")
+        )
+        if not recovered:
+            failures += 1
+        for rec in env.recovery.metrics.records:
+            combined.record(rec)
+        combined.counters.checkpoints_taken += (
+            env.recovery.metrics.counters.checkpoints_taken
+        )
+        combined.counters.checkpoint_cycles += (
+            env.recovery.metrics.counters.checkpoint_cycles
+        )
+    print()
+    print(combined.render())
+    print(
+        "\n(MSR and I/O-port abuse are deny-and-log under Covirt —"
+        " no termination, so nothing to recover.)"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -96,6 +212,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("fault-demo", help="crash an enclave, print its dossier")
     sub.add_parser(
+        "recovery-demo",
+        help="inject the terminating fault gallery under supervision, "
+        "print per-fault-class MTTR",
+    )
+    sub.add_parser(
         "verify", help="check every paper shape claim against its band"
     )
     args = parser.parse_args(argv)
@@ -113,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "fault-demo":
         return run_fault_demo()
+    if args.command == "recovery-demo":
+        return run_recovery_demo()
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     return run_experiments(names, json_dir=args.json)
 

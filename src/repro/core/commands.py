@@ -135,6 +135,21 @@ class CommandQueue:
         head, tail = self._read_header()
         return tail - head
 
+    def snapshot_pending(self) -> list[Command]:
+        """Read (without consuming) every enqueued-but-unserviced
+        command, oldest first.  The recovery checkpointer uses this to
+        capture the unacknowledged command queue so a restarted enclave
+        can have the commands replayed."""
+        head, tail = self._read_header()
+        pending: list[Command] = []
+        for idx in range(head, tail):
+            cmd, completed = Command.unpack(
+                self.memory.read(self._slot_addr(idx), SLOT_SIZE)
+            )
+            if not completed:
+                pending.append(cmd)
+        return pending
+
     def dequeue(self) -> Command | None:
         head, tail = self._read_header()
         if head == tail:

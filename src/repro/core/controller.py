@@ -121,6 +121,10 @@ class CovirtController:
         self.synchronous_updates = synchronous_updates
         self.contexts: dict[int, EnclaveVirtContext] = {}
         self.fault_log: list[CovirtFault] = []
+        #: Subscribers notified *after* a fault has been routed and the
+        #: dead enclave's resources reclaimed — the seam the recovery
+        #: supervisor (:mod:`repro.recovery.supervisor`) hangs off.
+        self.fault_hooks: list = []
         #: Crash reports by enclave id (see :mod:`repro.core.debug`).
         self.dossiers: dict[int, "FaultDossier"] = {}
         #: Every co-kernel framework this controller protects.
@@ -303,22 +307,30 @@ class CovirtController:
         """Send a command to every live core of an enclave and wait for
         completion.  The doorbell is a real NMI IPI: delivery invokes
         the hypervisor's service loop on the target core."""
+        updated = 0
+        for core_id in ctx.queues:
+            if ctx.hypervisors[core_id].terminated:
+                continue
+            self.issue_command_to(ctx, core_id, ctype)
+            updated += 1
+        return updated
+
+    def issue_command_to(
+        self, ctx: EnclaveVirtContext, core_id: int, ctype: CommandType
+    ) -> None:
+        """Send one command to one live enclave core and wait for it.
+        (Recovery replay uses this to re-issue checkpointed commands on
+        the specific core they were pending on.)"""
         host_core = min(self.mcp.host.online_cores)
         host_apic = self.machine.core(host_core).apic
         assert host_apic is not None
-        updated = 0
-        for core_id, queue in ctx.queues.items():
-            hv = ctx.hypervisors[core_id]
-            if hv.terminated:
-                continue
-            cmd = queue.enqueue(ctype)
-            host_apic.write_icr(core_id, 2, DeliveryMode.NMI)
-            if not queue.is_completed(cmd):
-                raise RuntimeError(
-                    f"core {core_id} failed to service {ctype.name}"
-                )
-            updated += 1
-        return updated
+        queue = ctx.queues[core_id]
+        cmd = queue.enqueue(ctype)
+        host_apic.write_icr(core_id, 2, DeliveryMode.NMI)
+        if not queue.is_completed(cmd):
+            raise RuntimeError(
+                f"core {core_id} failed to service {ctype.name}"
+            )
 
     # -- vector namespace --------------------------------------------------
 
@@ -338,7 +350,8 @@ class CovirtController:
 
     def _on_fault(self, fault: CovirtFault) -> None:
         """A hypervisor terminated its guest: collect the debugging
-        dossier, log, and tell the MCP to reclaim + notify dependents."""
+        dossier, log, tell the MCP to reclaim + notify dependents, and
+        finally hand the fault to any recovery subscribers."""
         from repro.core.debug import FaultDossier
 
         self.fault_log.append(fault)
@@ -349,7 +362,14 @@ class CovirtController:
                 hv.terminated = True
             # The state a developer gets instead of a dead node.
             self.dossiers[fault.enclave_id] = FaultDossier.collect(ctx, fault)
-        # Route termination to whichever framework owns the partition.
+        self._route_termination(fault)
+        # Only after routing: by now the enclave's resources are back in
+        # the host pool, which is the state recovery needs to start from.
+        for hook in list(self.fault_hooks):
+            hook(fault)
+
+    def _route_termination(self, fault: CovirtFault) -> None:
+        """Route termination to whichever framework owns the partition."""
         if fault.enclave_id in self.mcp.kmod.enclaves:
             self.mcp.enclave_failed(fault.enclave_id, fault.to_record())
             return

@@ -9,6 +9,7 @@ paper's debugging story — the trace you get *instead of* a node crash.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -23,6 +24,47 @@ class FaultKind(enum.Enum):
     CONTROLLER_REQUEST = "controller_request"
 
 
+def detail_class(detail: str) -> str:
+    """Collapse a fault detail string to its *class*: addresses, core
+    numbers, and TSC values vary between occurrences of the same bug, so
+    grouping (for quarantine policies and dossier dedup) must strip
+    them."""
+    collapsed = re.sub(r"0x[0-9a-fA-F]+", "<addr>", detail)
+    return re.sub(r"\d+", "<n>", collapsed)
+
+
+@dataclass(frozen=True)
+class FaultKey:
+    """Stable grouping key for repeated faults.
+
+    ``CovirtFault.qualification`` is excluded from equality
+    (``compare=False``) precisely because raw qualifications — EPT
+    violation records with addresses, TSCs — are unique per occurrence
+    and would defeat dedup.  The key is the hashable identity recovery
+    policies group on instead: *(kind, enclave, detail class)*.
+    """
+
+    kind: str
+    enclave_id: int
+    detail_class: str
+
+    @property
+    def signature(self) -> tuple[str, str]:
+        """Identity that survives re-incarnation: a recovered service
+        gets a fresh enclave id, but the same bug produces the same
+        (kind, detail class) pair."""
+        return (self.kind, self.detail_class)
+
+    def describe(self) -> str:
+        return f"{self.kind}[{self.detail_class}]"
+
+
+def key_from_record(enclave_id: int, record: FaultRecord) -> FaultKey:
+    """Build the grouping key from a Pisces-level termination record
+    (the form the MCP's fault path sees)."""
+    return FaultKey(record.reason, enclave_id, detail_class(record.detail))
+
+
 @dataclass(frozen=True)
 class CovirtFault:
     """A protection fault caught by the hypervisor."""
@@ -34,6 +76,10 @@ class CovirtFault:
     detail: str
     #: Raw qualification (EptViolationInfo, vector, msr index, ...).
     qualification: Any = field(default=None, compare=False)
+
+    def key(self) -> FaultKey:
+        """Stable dedup/grouping key (kind, enclave, detail class)."""
+        return FaultKey(self.kind.value, self.enclave_id, detail_class(self.detail))
 
     def to_record(self) -> FaultRecord:
         """The record handed to Pisces/Hobbes for termination."""

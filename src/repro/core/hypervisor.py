@@ -54,8 +54,9 @@ class CovirtHypervisor:
         self.costs = costs
         self.counters = PerfCounters()
         #: Bounded event ring: the ordered tail of what this hypervisor
-        #: saw, surfaced in fault dossiers.
-        self.trace = EventTrace()
+        #: saw, surfaced in fault dossiers.  Depth comes from the
+        #: enclave's CovirtConfig (recovery wants a deeper tail).
+        self.trace = EventTrace(capacity=ctx.config.trace_capacity)
         #: Generation of the VMCS state this core has activated.
         self.loaded_generation: int = -1
         #: Set by the controller: where terminations are reported.

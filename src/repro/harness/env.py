@@ -18,6 +18,8 @@ from repro.linuxhost.host import LinuxHost
 from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.pisces.enclave import Enclave
 from repro.pisces.resources import ResourceSpec
+from repro.recovery.policy import RecoveryPolicy
+from repro.recovery.supervisor import RecoverySupervisor, SupervisedService
 from repro.workloads.engine import ExecutionEngine
 
 GiB = 1 << 30
@@ -84,6 +86,11 @@ class CovirtEnvironment:
         )
         self.engine = ExecutionEngine(self.machine, costs=costs)
         self.costs = costs
+        #: Recovery layer: supervises enclaves registered through
+        #: :meth:`launch_supervised` (or ``recovery.supervise``).
+        self.recovery = RecoverySupervisor(
+            self.machine, self.host, self.mcp, self.controller
+        )
 
     def launch(
         self,
@@ -94,6 +101,21 @@ class CovirtEnvironment:
         """Boot an enclave with the given layout and protection config
         (None = native)."""
         return self.controller.launch(layout.spec(name), config)
+
+    def launch_supervised(
+        self,
+        layout: Layout,
+        config: CovirtConfig | None,
+        policy: RecoveryPolicy | None = None,
+        name: str = "eval",
+    ) -> SupervisedService:
+        """Boot an enclave and place it under recovery supervision.
+        Returns the service handle — ``service.enclave`` tracks the
+        current incarnation across restarts."""
+        enclave = self.launch(layout, config, name)
+        return self.recovery.supervise(
+            enclave, policy=policy, config=config, name=name
+        )
 
     def teardown(self, enclave: Enclave) -> None:
         from repro.pisces.enclave import EnclaveState

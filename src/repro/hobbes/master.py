@@ -51,6 +51,12 @@ class MasterControlProcess:
         self.forwarder = SyscallForwarder()
         self.channels: dict[int, CommandChannel] = {}
         self.notifications: list[DependentNotification] = []
+        #: Fired (enclave_id, FaultRecord) after :meth:`enclave_failed`
+        #: has severed dependencies and reclaimed resources.  The
+        #: recovery supervisor subscribes here (in addition to the
+        #: Covirt controller's fault hook) so terminations that never
+        #: passed through a hypervisor are still supervised.
+        self.on_enclave_failed: list[Any] = []
         #: Slot the Covirt controller occupies once activated.
         self.covirt_controller: Any = None
 
@@ -125,7 +131,39 @@ class MasterControlProcess:
         before = len(self.notifications)
         self._release_dependencies(enclave_id, notify=True)
         self.kmod.reclaim_enclave(enclave_id)
-        return self.notifications[before:]
+        sent = self.notifications[before:]
+        for hook in list(self.on_enclave_failed):
+            hook(enclave_id, fault)
+        return sent
+
+    def relaunch_enclave(self, spec: ResourceSpec) -> Enclave:
+        """Launch a successor enclave for a failed service.
+
+        Identical to :meth:`launch_enclave` today — the point of the
+        separate entry is that relaunches go through the *same* create →
+        boot → wire path as first launches (so Covirt interposition,
+        channel doorbells, and registry wiring are all re-established),
+        which is what makes a recovered enclave indistinguishable from a
+        fresh one.
+        """
+        return self.launch_enclave(spec)
+
+    def notify_recovered(
+        self, enclave_id: int, about_enclave_id: int, what: str
+    ) -> DependentNotification:
+        """Tell a dependent that a service it was told had died is back
+        (the counterpart of the failure notifications above)."""
+        note = DependentNotification(enclave_id, about_enclave_id, what)
+        self.notifications.append(note)
+        return note
+
+    def dependents_notified_about(self, enclave_id: int) -> list[int]:
+        """Who was told ``enclave_id`` failed (for re-notification)."""
+        seen: list[int] = []
+        for note in self.notifications:
+            if note.about_enclave_id == enclave_id and note.enclave_id not in seen:
+                seen.append(note.enclave_id)
+        return seen
 
     def _release_dependencies(self, enclave_id: int, *, notify: bool) -> None:
         # 1. Channels.

@@ -87,6 +87,31 @@ class CostModel:
     #: One scheduler/housekeeping pass in Kitten (the timer tick body).
     housekeeping_tick: int = 2_000
 
+    # -- recovery subsystem --------------------------------------------
+    #: Fixed cost of opening a checkpoint transaction (walking the
+    #: supervisor's section fingerprints; paid even when nothing is
+    #: dirty, which is what makes incremental checkpointing honest).
+    checkpoint_base: int = 4_000
+    #: Copying one task-table record into the checkpoint.
+    checkpoint_per_task: int = 900
+    #: Copying one resource-assignment region record.
+    checkpoint_per_region: int = 500
+    #: Copying one XEMEM export record (name + geometry + attachers).
+    checkpoint_per_segment: int = 700
+    #: Copying one vector-grant record.
+    checkpoint_per_grant: int = 300
+    #: Copying one pending controller command out of a core's ring.
+    checkpoint_per_command: int = 200
+    #: One scrub invariant check (ownership walk, registry scan, ...).
+    scrub_per_check: int = 1_500
+    #: Re-issuing one checkpointed controller command after relaunch
+    #: (enqueue + NMI doorbell accounted separately by the live path).
+    replay_per_command: int = 400
+
+    def checkpoint_section_cost(self, per_record: int, records: int) -> int:
+        """Cycles to copy one dirty checkpoint section."""
+        return per_record * max(records, 1)
+
     def ept_extra_per_miss(self, page_size: int) -> float:
         """Extra nested-walk cycles per TLB miss for a given EPT page size."""
         if page_size >= PAGE_SIZE_1G:

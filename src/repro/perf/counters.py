@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
 class PerfCounters:
-    """Event counts + cycle attribution for one core's hypervisor."""
+    """Event counts + cycle attribution for one core's hypervisor.
+
+    The recovery subsystem (:mod:`repro.recovery`) shares the same
+    structure for its supervisor-level accounting, so checkpoint and
+    restart costs surface through the exact channel every other cycle
+    cost does.
+    """
 
     exits: Counter = field(default_factory=Counter)
     cycles_in_vmm: int = 0
@@ -19,6 +25,12 @@ class PerfCounters:
     ipis_forwarded: int = 0
     interrupts_injected: int = 0
     posted_deliveries: int = 0
+    # -- recovery subsystem ---------------------------------------------
+    checkpoints_taken: int = 0
+    checkpoint_cycles: int = 0
+    recoveries: int = 0
+    recovery_cycles: int = 0
+    commands_replayed: int = 0
 
     def record_exit(self, reason_name: str, cycles: int) -> None:
         self.exits[reason_name] += 1
@@ -30,15 +42,6 @@ class PerfCounters:
 
     def merge(self, other: "PerfCounters") -> "PerfCounters":
         merged = PerfCounters()
-        merged.exits = self.exits + other.exits
-        merged.cycles_in_vmm = self.cycles_in_vmm + other.cycles_in_vmm
-        merged.cycles_in_guest = self.cycles_in_guest + other.cycles_in_guest
-        merged.commands_serviced = self.commands_serviced + other.commands_serviced
-        merged.tlb_flushes = self.tlb_flushes + other.tlb_flushes
-        merged.ipis_filtered = self.ipis_filtered + other.ipis_filtered
-        merged.ipis_forwarded = self.ipis_forwarded + other.ipis_forwarded
-        merged.interrupts_injected = (
-            self.interrupts_injected + other.interrupts_injected
-        )
-        merged.posted_deliveries = self.posted_deliveries + other.posted_deliveries
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
         return merged

@@ -22,6 +22,11 @@ class TraceKind(enum.Enum):
     POSTED = "posted"
     DROP = "drop"
     TERMINATE = "terminate"
+    #: Recovery-subsystem lifecycle events (policy decisions, scrub
+    #: verdicts, relaunches, replays — see :mod:`repro.recovery`).
+    RECOVER = "recover"
+    #: A checkpoint section was captured (or skipped as unchanged).
+    CHECKPOINT = "checkpoint"
 
 
 @dataclass(frozen=True)
@@ -31,7 +36,7 @@ class TraceRecord:
     detail: str
 
     def render(self) -> str:
-        return f"{self.tsc:>14d}  {self.kind.value:<9s} {self.detail}"
+        return f"{self.tsc:>14d}  {self.kind.value:<10s} {self.detail}"
 
 
 class EventTrace:

@@ -39,6 +39,9 @@ class EnclaveState(enum.Enum):
     DESTROYED = "destroyed"
     #: Terminated by Covirt after a contained fault.
     FAILED = "failed"
+    #: Terminated by Covirt, but the recovery subsystem restored the
+    #: service in a successor enclave (see ``Enclave.successor_id``).
+    RECOVERED = "recovered"
 
 
 class EnclaveDead(Exception):
@@ -95,6 +98,11 @@ class Enclave:
     fault: FaultRecord | None = None
     #: Opaque slot for Covirt's per-enclave virtualization context.
     virt_context: object = None
+    #: How many times this *service* has been (re)launched; 1 for a
+    #: fresh enclave, bumped by the recovery supervisor on relaunch.
+    incarnation: int = 1
+    #: Enclave id of the successor that took over after recovery.
+    successor_id: int | None = None
 
     @property
     def owner_label(self) -> str:

@@ -1,0 +1,68 @@
+"""repro.recovery — enclave supervision, checkpoint/restart, and
+recovery policies on top of Covirt containment.
+
+Covirt's contribution (the paper's Section IV) is *containment*: an
+abort-class fault kills the enclave, never the host.  This package adds
+the layer the paper leaves to the system integrator: getting the dead
+service **back**.  A :class:`RecoverySupervisor` watches every
+supervised enclave, and on termination consults a pluggable
+:class:`RecoveryPolicy`, scrubs the host for leaked resources, relaunches
+through the same Pisces/Hobbes/Covirt path as a first boot, and replays
+the checkpointed state (tasks, XEMEM exports, vector grants, pending
+controller commands, dependent notifications).
+"""
+
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    EnclaveCheckpoint,
+    GrantRecord,
+    ResourceRecord,
+    SegmentRecord,
+    TaskRecord,
+)
+from repro.recovery.metrics import MttrSummary, RecoveryMetrics, RecoveryRecord
+from repro.recovery.policy import (
+    Failover,
+    PolicyContext,
+    Quarantine,
+    RecoveryAction,
+    RecoveryDecision,
+    RecoveryPolicy,
+    RestartAlways,
+    RestartWithBackoff,
+)
+from repro.recovery.replay import ReplayEngine, ReplayReport
+from repro.recovery.scrub import ResourceScrubber, ScrubError, ScrubReport
+from repro.recovery.supervisor import (
+    RecoveryPhase,
+    RecoverySupervisor,
+    SupervisedService,
+)
+
+__all__ = [
+    "CheckpointManager",
+    "EnclaveCheckpoint",
+    "Failover",
+    "GrantRecord",
+    "MttrSummary",
+    "PolicyContext",
+    "Quarantine",
+    "RecoveryAction",
+    "RecoveryDecision",
+    "RecoveryMetrics",
+    "RecoveryPhase",
+    "RecoveryPolicy",
+    "RecoveryRecord",
+    "RecoverySupervisor",
+    "ReplayEngine",
+    "ReplayReport",
+    "ResourceRecord",
+    "ResourceScrubber",
+    "RestartAlways",
+    "RestartWithBackoff",
+    "ScrubError",
+    "ScrubReport",
+    "SegmentRecord",
+    "SupervisedService",
+    "TaskRecord",
+]

@@ -1,0 +1,128 @@
+"""Recovery metrics: MTTR accounting and reporting.
+
+Every recovery attempt produces one :class:`RecoveryRecord` spanning
+fault detection (the TSC at which the supervisor saw the failure) to
+the service being back in RUNNING.  The aggregator groups records by
+fault kind so the recovery demo can print a per-fault-class MTTR table,
+and folds totals into :class:`~repro.perf.counters.PerfCounters` so
+recovery cost appears next to every other cost the reproduction
+tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.faults import FaultKey
+from repro.hw.clock import cycles_to_us
+from repro.perf.counters import PerfCounters
+
+
+@dataclass
+class RecoveryRecord:
+    """One fault → recovery (or terminal parking) episode."""
+
+    service: str
+    key: FaultKey
+    policy: str
+    outcome: str  # "recovered", "quarantined", "gave-up", "scrub-failed"
+    detection_tsc: int
+    completion_tsc: int
+    incarnation: int
+    backoff_cycles: int = 0
+    scrub_cycles: int = 0
+    replay_length: int = 0
+    replay_cycles: int = 0
+    checkpoint_cycles: int = 0
+    commands_replayed: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        return self.outcome == "recovered"
+
+    @property
+    def mttr_cycles(self) -> int:
+        return self.completion_tsc - self.detection_tsc
+
+
+@dataclass
+class MttrSummary:
+    """Aggregate over one fault kind (or everything)."""
+
+    kind: str
+    attempts: int = 0
+    recovered: int = 0
+    total_mttr_cycles: int = 0
+    total_backoff_cycles: int = 0
+    total_replay_length: int = 0
+
+    @property
+    def mean_mttr_cycles(self) -> float:
+        return self.total_mttr_cycles / self.recovered if self.recovered else 0.0
+
+    @property
+    def mean_mttr_us(self) -> float:
+        return cycles_to_us(self.mean_mttr_cycles)
+
+
+class RecoveryMetrics:
+    """Collects :class:`RecoveryRecord`\\ s and renders summaries."""
+
+    def __init__(self) -> None:
+        self.records: list[RecoveryRecord] = []
+        self.counters = PerfCounters()
+
+    def record(self, rec: RecoveryRecord) -> None:
+        self.records.append(rec)
+        if rec.recovered:
+            self.counters.recoveries += 1
+            self.counters.recovery_cycles += rec.mttr_cycles
+        self.counters.commands_replayed += rec.commands_replayed
+
+    def record_checkpoint(self, cost_cycles: int) -> None:
+        self.counters.checkpoints_taken += 1
+        self.counters.checkpoint_cycles += cost_cycles
+
+    # -- aggregation -----------------------------------------------------
+
+    def by_fault_kind(self) -> dict[str, MttrSummary]:
+        summaries: dict[str, MttrSummary] = {}
+        for rec in self.records:
+            summary = summaries.setdefault(rec.key.kind, MttrSummary(rec.key.kind))
+            summary.attempts += 1
+            if rec.recovered:
+                summary.recovered += 1
+                summary.total_mttr_cycles += rec.mttr_cycles
+                summary.total_backoff_cycles += rec.backoff_cycles
+                summary.total_replay_length += rec.replay_length
+        return summaries
+
+    def retries_by_signature(self) -> dict[tuple[str, str], int]:
+        counts: dict[tuple[str, str], int] = {}
+        for rec in self.records:
+            counts[rec.key.signature] = counts.get(rec.key.signature, 0) + 1
+        return counts
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        if not self.records:
+            return "recovery metrics: no recoveries recorded"
+        lines = [
+            "recovery metrics (MTTR = detection → back to RUNNING):",
+            f"  {'fault kind':<24s} {'n':>3s} {'recovered':>9s} "
+            f"{'mean MTTR (cyc)':>16s} {'mean MTTR (µs)':>15s}",
+        ]
+        for kind in sorted(self.by_fault_kind()):
+            s = self.by_fault_kind()[kind]
+            lines.append(
+                f"  {kind:<24s} {s.attempts:>3d} {s.recovered:>9d} "
+                f"{s.mean_mttr_cycles:>16,.0f} {s.mean_mttr_us:>15,.1f}"
+            )
+        c = self.counters
+        lines.append(
+            f"  checkpoints: {c.checkpoints_taken} "
+            f"({c.checkpoint_cycles:,} cycles); "
+            f"commands replayed: {c.commands_replayed}"
+        )
+        return "\n".join(lines)

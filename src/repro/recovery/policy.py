@@ -1,0 +1,211 @@
+"""Recovery policies: what to do when a supervised enclave dies.
+
+A policy is a pure decision function — it never touches the machine.
+The supervisor hands it the fault (as a stable :class:`FaultKey`), the
+service's fault history, and placement context; the policy answers with
+a :class:`RecoveryDecision`.  Keeping policies side-effect free makes
+the backoff schedules and give-up thresholds unit-testable without
+booting a single enclave.
+
+Four policies ship with the reproduction, in the lineage of ReHype's
+in-place recovery and Quest-V's sandbox restarts:
+
+* :class:`RestartAlways` — immediate unconditional restart.
+* :class:`RestartWithBackoff` — exponential backoff with deterministic
+  jitter (derived from the simulated TSC, so runs are reproducible) and
+  a give-up threshold.
+* :class:`Failover` — restart on a *different* NUMA zone, rotating
+  through zones on repeated faults.
+* :class:`Quarantine` — wraps another policy; if the same fault
+  signature repeats too often, stop restarting and leave the dossier
+  for a human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import enum
+
+from repro.core.faults import FaultKey
+from repro.pisces.resources import ResourceSpec
+
+
+class RecoveryAction(enum.Enum):
+    RESTART = "restart"
+    GIVE_UP = "give-up"
+    QUARANTINE = "quarantine"
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """The policy's verdict for one fault."""
+
+    action: RecoveryAction
+    #: Simulated cycles to wait before relaunching (backoff).
+    delay_cycles: int = 0
+    #: Replacement resource spec (failover); None keeps the original.
+    respec: ResourceSpec | None = None
+    reason: str = ""
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult, supplied by the supervisor."""
+
+    key: FaultKey
+    #: Every fault this *service* has taken, oldest first, including
+    #: the current one (so ``len(history)`` is the attempt number).
+    history: list[FaultKey]
+    #: Detection timestamp (simulated TSC) — jitter seed.
+    detection_tsc: int
+    #: The spec the service is currently shaped as.
+    spec: ResourceSpec
+    #: NUMA zones on the machine (failover placement domain).
+    num_zones: int = 1
+
+    @property
+    def attempt(self) -> int:
+        return len(self.history)
+
+    def repeats_of(self, signature: tuple[str, str]) -> int:
+        return sum(1 for k in self.history if k.signature == signature)
+
+
+class RecoveryPolicy:
+    """Base class; subclasses override :meth:`decide`."""
+
+    name = "abstract"
+
+    def decide(self, ctx: PolicyContext) -> RecoveryDecision:
+        raise NotImplementedError
+
+
+class RestartAlways(RecoveryPolicy):
+    """Restart immediately, forever.  The paper's containment story
+    makes this safe (the host survives every fault) but it can spin on
+    a deterministic crash — pair with :class:`Quarantine` in anger."""
+
+    name = "restart-always"
+
+    def decide(self, ctx: PolicyContext) -> RecoveryDecision:
+        return RecoveryDecision(
+            RecoveryAction.RESTART,
+            reason=f"restart-always: attempt {ctx.attempt}",
+        )
+
+
+#: Multiplier for the deterministic jitter hash (Fibonacci hashing
+#: constant — spreads consecutive TSCs uniformly over the jitter span).
+_JITTER_MULT = 0x9E3779B1
+
+
+@dataclass
+class RestartWithBackoff(RecoveryPolicy):
+    """Exponential backoff with deterministic jitter and a retry cap."""
+
+    base_delay_cycles: int = 1_000_000
+    factor: int = 2
+    max_delay_cycles: int = 64_000_000
+    #: Jitter span as a fraction of the computed delay (0 disables).
+    jitter_fraction: float = 0.25
+    max_retries: int = 8
+
+    name = "restart-with-backoff"
+
+    def delay_for(self, attempt: int, detection_tsc: int) -> int:
+        """Backoff schedule: base·factor^(attempt-1), capped, plus
+        jitter derived from the detection TSC (not wall-clock random —
+        the simulation must replay identically)."""
+        raw = self.base_delay_cycles * (self.factor ** max(attempt - 1, 0))
+        delay = min(raw, self.max_delay_cycles)
+        span = int(delay * self.jitter_fraction)
+        if span > 0:
+            delay += (detection_tsc * _JITTER_MULT) % span
+        return delay
+
+    def decide(self, ctx: PolicyContext) -> RecoveryDecision:
+        if ctx.attempt > self.max_retries:
+            return RecoveryDecision(
+                RecoveryAction.GIVE_UP,
+                reason=(
+                    f"backoff: gave up after {self.max_retries} retries"
+                    f" ({ctx.key.describe()})"
+                ),
+            )
+        delay = self.delay_for(ctx.attempt, ctx.detection_tsc)
+        return RecoveryDecision(
+            RecoveryAction.RESTART,
+            delay_cycles=delay,
+            reason=f"backoff: attempt {ctx.attempt}, delay {delay} cycles",
+        )
+
+
+@dataclass
+class Failover(RecoveryPolicy):
+    """Relaunch on different NUMA zones: rotate every zone's allocation
+    by ``attempt`` positions, away from the (possibly bad) hardware the
+    failed incarnation ran on."""
+
+    max_retries: int = 8
+
+    name = "failover"
+
+    def placement_for(self, spec: ResourceSpec, attempt: int, num_zones: int) -> ResourceSpec:
+        if num_zones <= 1:
+            return spec
+        shift = attempt % num_zones
+        if shift == 0:
+            return spec
+        return ResourceSpec(
+            cores_per_zone={
+                (zone + shift) % num_zones: count
+                for zone, count in spec.cores_per_zone.items()
+            },
+            mem_per_zone={
+                (zone + shift) % num_zones: size
+                for zone, size in spec.mem_per_zone.items()
+            },
+            name=spec.name,
+            kernel_type=spec.kernel_type,
+        )
+
+    def decide(self, ctx: PolicyContext) -> RecoveryDecision:
+        if ctx.attempt > self.max_retries:
+            return RecoveryDecision(
+                RecoveryAction.GIVE_UP,
+                reason=f"failover: gave up after {self.max_retries} retries",
+            )
+        respec = self.placement_for(ctx.spec, ctx.attempt, ctx.num_zones)
+        moved = respec is not ctx.spec
+        return RecoveryDecision(
+            RecoveryAction.RESTART,
+            respec=respec,
+            reason=(
+                f"failover: attempt {ctx.attempt}, "
+                + ("re-placed across zones" if moved else "placement unchanged")
+            ),
+        )
+
+
+@dataclass
+class Quarantine(RecoveryPolicy):
+    """Wrap another policy; stop restarting when the same fault
+    signature (kind + detail class, enclave-id independent) keeps
+    coming back — a deterministic bug restarting won't fix."""
+
+    inner: RecoveryPolicy = field(default_factory=RestartAlways)
+    max_repeats: int = 3
+
+    name = "quarantine"
+
+    def decide(self, ctx: PolicyContext) -> RecoveryDecision:
+        repeats = ctx.repeats_of(ctx.key.signature)
+        if repeats >= self.max_repeats:
+            return RecoveryDecision(
+                RecoveryAction.QUARANTINE,
+                reason=(
+                    f"quarantine: {ctx.key.describe()} repeated "
+                    f"{repeats}× (limit {self.max_repeats}); dossier retained"
+                ),
+            )
+        return self.inner.decide(ctx)

@@ -1,0 +1,221 @@
+"""State replay: rebuild a relaunched enclave from its checkpoint.
+
+A relaunch gives the service a *fresh* enclave — new enclave id, new
+Kitten kernel, new Covirt context, new channel doorbells (the MCP's
+launch path wires those itself).  Replay then restores everything the
+checkpoint captured on top of it:
+
+1. re-spawn the checkpointed tasks (same names, sizes, core indexes);
+2. re-export the XEMEM segments under their old names and re-attach
+   every checkpointed attacher that is still running;
+3. restore the non-doorbell vector grants, rewriting the dead enclave's
+   id to the successor's;
+4. re-issue the commands that were enqueued-but-unacknowledged at the
+   checkpoint (TERMINATE is never replayed — replaying the command that
+   killed you is not recovery);
+5. re-notify every dependent the MCP told about the failure that the
+   service is back.
+
+All of it is charged to the simulated clock so replay length shows up
+in MTTR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.commands import CommandType
+from repro.recovery.checkpoint import (
+    SERVICE,
+    EnclaveCheckpoint,
+    attachers_still_running,
+)
+from repro.xemem.segment import HOST_ENCLAVE_ID, SegmentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import CovirtController
+    from repro.hobbes.master import MasterControlProcess
+    from repro.pisces.enclave import Enclave
+
+
+@dataclass
+class ReplayReport:
+    """What the replay engine managed to restore."""
+
+    old_enclave_id: int
+    new_enclave_id: int
+    tasks_respawned: list[str] = field(default_factory=list)
+    segments_reexported: list[str] = field(default_factory=list)
+    attachments_restored: list[tuple[str, int]] = field(default_factory=list)
+    grants_restored: list[str] = field(default_factory=list)
+    commands_replayed: list[str] = field(default_factory=list)
+    commands_skipped: list[str] = field(default_factory=list)
+    dependents_notified: list[int] = field(default_factory=list)
+    cost_cycles: int = 0
+
+    @property
+    def replay_length(self) -> int:
+        return (
+            len(self.tasks_respawned)
+            + len(self.segments_reexported)
+            + len(self.attachments_restored)
+            + len(self.grants_restored)
+            + len(self.commands_replayed)
+            + len(self.dependents_notified)
+        )
+
+
+class ReplayEngine:
+    """Applies a checkpoint to a freshly relaunched enclave."""
+
+    def __init__(
+        self,
+        mcp: "MasterControlProcess",
+        controller: "CovirtController | None",
+        replay_per_command: int = 400,
+    ) -> None:
+        self.mcp = mcp
+        self.controller = controller
+        self.replay_per_command = replay_per_command
+
+    def replay(
+        self, checkpoint: EnclaveCheckpoint, new_enclave: "Enclave"
+    ) -> ReplayReport:
+        report = ReplayReport(checkpoint.enclave_id, new_enclave.enclave_id)
+        self._respawn_tasks(checkpoint, new_enclave, report)
+        self._reexport_segments(checkpoint, new_enclave, report)
+        self._restore_grants(checkpoint, new_enclave, report)
+        self._replay_commands(checkpoint, new_enclave, report)
+        self._renotify_dependents(checkpoint, new_enclave, report)
+        report.cost_cycles = report.replay_length * self.replay_per_command
+        self.mcp.machine.clock.advance(report.cost_cycles)
+        return report
+
+    # -- stages ----------------------------------------------------------
+
+    def _respawn_tasks(
+        self,
+        checkpoint: EnclaveCheckpoint,
+        enclave: "Enclave",
+        report: ReplayReport,
+    ) -> None:
+        kernel = enclave.kernel
+        if kernel is None:
+            return
+        core_ids = list(enclave.assignment.core_ids)
+        for record in checkpoint.tasks:
+            core_id = None
+            if record.core_index is not None and record.core_index < len(core_ids):
+                core_id = core_ids[record.core_index]
+            kernel.spawn(record.name, record.mem_bytes, core_id)
+            report.tasks_respawned.append(record.name)
+
+    def _reexport_segments(
+        self,
+        checkpoint: EnclaveCheckpoint,
+        enclave: "Enclave",
+        report: ReplayReport,
+    ) -> None:
+        kernel = enclave.kernel
+        eid = enclave.enclave_id
+        for record in checkpoint.segments:
+            start = None
+            if kernel is not None and record.owner_task:
+                # Back the export with the respawned task's memory when
+                # it is big enough (same layout the service had built).
+                for task in kernel.tasks.values():
+                    if task.name == record.owner_task:
+                        for s in task.slices:
+                            if s.size >= record.size:
+                                start = s.start
+                                break
+                        break
+            if start is None and kernel is not None:
+                start = kernel.kmalloc(record.size).start
+            if start is None:  # pragma: no cover - kernel-less enclave
+                continue
+            try:
+                segment = self.mcp.xemem.make(eid, record.name, start, record.size)
+            except SegmentError:
+                continue  # name raced back into use; dossier has the record
+            report.segments_reexported.append(record.name)
+            for attacher_id in attachers_still_running(record, self.mcp):
+                if attacher_id in (checkpoint.enclave_id, eid):
+                    continue  # the dead incarnation; nothing to re-attach
+                try:
+                    self.mcp.xemem.attach(attacher_id, segment.segid)
+                except SegmentError:
+                    continue
+                report.attachments_restored.append((record.name, attacher_id))
+
+    def _restore_grants(
+        self,
+        checkpoint: EnclaveCheckpoint,
+        enclave: "Enclave",
+        report: ReplayReport,
+    ) -> None:
+        eid = enclave.enclave_id
+        core_ids = list(enclave.assignment.core_ids)
+        for record in checkpoint.grants:
+            if record.dest_core_index is not None and record.dest_core_index < len(
+                core_ids
+            ):
+                dest_core = core_ids[record.dest_core_index]
+            else:
+                dest_core = record.dest_core
+            dest_enclave = eid if record.dest_enclave == SERVICE else record.dest_enclave
+            senders = {eid if s == SERVICE else s for s in record.senders}
+            self.mcp.vectors.allocate(
+                dest_core=dest_core,
+                dest_enclave_id=dest_enclave,
+                allowed_senders=senders,
+                purpose=record.purpose,
+            )
+            report.grants_restored.append(record.purpose)
+
+    def _replay_commands(
+        self,
+        checkpoint: EnclaveCheckpoint,
+        enclave: "Enclave",
+        report: ReplayReport,
+    ) -> None:
+        if self.controller is None:
+            return
+        ctx = self.controller.context_for(enclave.enclave_id)
+        if ctx is None:
+            return
+        core_ids = list(enclave.assignment.core_ids)
+        for core_index, types in checkpoint.pending_commands:
+            if core_index >= len(core_ids):
+                continue
+            core_id = core_ids[core_index]
+            for ctype in types:
+                label = f"{ctype.name}@core{core_id}"
+                if ctype is CommandType.TERMINATE:
+                    report.commands_skipped.append(label)
+                    continue
+                self.controller.issue_command_to(ctx, core_id, ctype)
+                report.commands_replayed.append(label)
+
+    def _renotify_dependents(
+        self,
+        checkpoint: EnclaveCheckpoint,
+        enclave: "Enclave",
+        report: ReplayReport,
+    ) -> None:
+        old_id = checkpoint.enclave_id
+        for dependent in self.mcp.dependents_notified_about(old_id):
+            if dependent == old_id:
+                continue
+            if dependent != HOST_ENCLAVE_ID:
+                holder = self.mcp.kmod.enclaves.get(dependent)
+                if holder is None or not holder.is_running:
+                    continue
+            self.mcp.notify_recovered(
+                dependent,
+                old_id,
+                f"service {enclave.name!r} recovered as enclave "
+                f"{enclave.enclave_id}",
+            )
+            report.dependents_notified.append(dependent)

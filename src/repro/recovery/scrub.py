@@ -1,0 +1,154 @@
+"""Pre-relaunch resource scrubbing.
+
+Before a failed enclave's service is relaunched, the scrubber proves
+that everything the dead incarnation held really went back where it
+belongs: memory to the host pool, cores back online, IPI vector grants
+revoked, XEMEM segments unregistered, channels closed, and the Covirt
+controller context gone.  Covirt's whole value proposition is that a
+fault never leaks protected resources — so a recovery layer that
+silently relaunched over a leak would launder a protection bug into a
+"successful" restart.  The scrubber exists to make that impossible:
+any violation aborts the recovery with a :class:`ScrubError` and the
+supervisor parks the service instead of relaunching it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.controller import covirt_owner
+from repro.pisces.resources import enclave_owner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import CovirtController
+    from repro.hobbes.master import MasterControlProcess
+    from repro.hw.machine import Machine
+    from repro.linuxhost.host import LinuxHost
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass."""
+
+    enclave_id: int
+    checks_run: int = 0
+    violations: list[str] = field(default_factory=list)
+    cost_cycles: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        status = "CLEAN" if self.clean else "DIRTY"
+        lines = [
+            f"scrub enclave {self.enclave_id}: {status} "
+            f"({self.checks_run} checks, {self.cost_cycles} cycles)"
+        ]
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class ScrubError(Exception):
+    """Raised when a relaunch is refused because resources leaked."""
+
+    def __init__(self, report: ScrubReport) -> None:
+        self.report = report
+        super().__init__(
+            f"scrub rejected relaunch of enclave {report.enclave_id}: "
+            + "; ".join(report.violations)
+        )
+
+
+class ResourceScrubber:
+    """Verifies a dead enclave left no residue before relaunch."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        host: "LinuxHost",
+        mcp: "MasterControlProcess",
+        controller: "CovirtController | None",
+        scrub_per_check: int = 1_500,
+    ) -> None:
+        self.machine = machine
+        self.host = host
+        self.mcp = mcp
+        self.controller = controller
+        self.scrub_per_check = scrub_per_check
+
+    def scrub(
+        self, enclave_id: int, old_core_ids: tuple[int, ...] = ()
+    ) -> ScrubReport:
+        """Run every residue check for a dead enclave.  Returns the
+        report; callers that must not proceed on violations should use
+        :meth:`scrub_or_raise`."""
+        report = ScrubReport(enclave_id)
+
+        def check(ok: bool, violation: str) -> None:
+            report.checks_run += 1
+            if not ok:
+                report.violations.append(violation)
+
+        memory = self.machine.memory
+        leaked = memory.owned_by(enclave_owner(enclave_id))
+        check(
+            not leaked,
+            f"{sum(r.size for r in leaked)} bytes still owned by "
+            f"{enclave_owner(enclave_id)!r}",
+        )
+        private = memory.owned_by(covirt_owner(enclave_id))
+        check(
+            not private,
+            f"{sum(r.size for r in private)} bytes of Covirt private "
+            f"region still owned by {covirt_owner(enclave_id)!r}",
+        )
+        missing_cores = [
+            c for c in old_core_ids if c not in self.host.online_cores
+        ]
+        check(
+            not missing_cores,
+            f"cores {missing_cores} never returned to the host",
+        )
+        grants = self.mcp.vectors.grants_involving(enclave_id)
+        check(
+            not grants,
+            f"{len(grants)} vector grant(s) still name enclave {enclave_id}",
+        )
+        owned_segs = self.mcp.xemem.names.segments_owned_by(enclave_id)
+        check(
+            not owned_segs,
+            f"XEMEM segments still registered to enclave {enclave_id}: "
+            f"{[s.name for s in owned_segs]}",
+        )
+        attached_segs = self.mcp.xemem.names.segments_attached_by(enclave_id)
+        check(
+            not attached_segs,
+            f"enclave {enclave_id} still attached to segments "
+            f"{[s.name for s in attached_segs]}",
+        )
+        check(
+            enclave_id not in self.mcp.channels,
+            f"command channel for enclave {enclave_id} still open",
+        )
+        if self.controller is not None:
+            check(
+                enclave_id not in self.controller.contexts,
+                f"Covirt controller context for enclave {enclave_id} "
+                "still present",
+            )
+        check(self.host.alive, "host kernel is not alive")
+        check(self.host.verify_integrity(), "host memory canaries corrupted")
+
+        report.cost_cycles = report.checks_run * self.scrub_per_check
+        self.machine.clock.advance(report.cost_cycles)
+        return report
+
+    def scrub_or_raise(
+        self, enclave_id: int, old_core_ids: tuple[int, ...] = ()
+    ) -> ScrubReport:
+        report = self.scrub(enclave_id, old_core_ids)
+        if not report.clean:
+            raise ScrubError(report)
+        return report

@@ -1,0 +1,175 @@
+"""Checkpoint capture, incrementality, and the restore round trip."""
+
+from __future__ import annotations
+
+from repro.core.commands import CommandType
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.recovery.policy import RestartAlways
+from repro.recovery.supervisor import RecoveryPhase
+from repro.xemem.segment import HOST_ENCLAVE_ID
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+def crash(enclave) -> None:
+    bsp = enclave.assignment.core_ids[0]
+    try:
+        enclave.port.read(bsp, 50 * GiB, 8)
+    except EnclaveFaultError:
+        pass
+
+
+class TestIncrementalCheckpoint:
+    def test_baseline_then_clean_checkpoint(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="cp"
+        )
+        baseline = env.recovery.checkpoints.latest[svc.enclave_id]
+        assert set(baseline.dirty_sections) == {
+            "resources", "tasks", "segments", "grants", "commands",
+        }
+        # Nothing changed: the next checkpoint copies no sections and
+        # costs only the base fingerprint scan.
+        second = env.recovery.checkpoint_now("cp")
+        assert second.dirty_sections == ()
+        assert second.cost_cycles == env.costs.checkpoint_base
+        assert second.generation == baseline.generation + 1
+
+    def test_dirty_sections_tracked_per_change(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="cp"
+        )
+        svc.enclave.kernel.spawn("worker", mem_bytes=MiB)
+        cp = env.recovery.checkpoint_now("cp")
+        assert "tasks" in cp.dirty_sections
+        assert "grants" not in cp.dirty_sections
+        seg_task = svc.enclave.kernel.spawn("exporter", mem_bytes=MiB)
+        env.mcp.xemem.make(
+            svc.enclave_id, "buf", seg_task.slices[0].start, MiB
+        )
+        cp2 = env.recovery.checkpoint_now("cp")
+        assert "segments" in cp2.dirty_sections
+        assert "resources" not in cp2.dirty_sections
+
+    def test_checkpoint_cost_charged_to_sim_clock(self, env, small_layout):
+        env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="cp"
+        )
+        before = env.machine.clock.now
+        cp = env.recovery.checkpoint_now("cp")
+        assert env.machine.clock.now == before + cp.cost_cycles
+        assert cp.cost_cycles > 0
+
+    def test_periodic_tick(self, env, small_layout):
+        env.recovery.checkpoints.interval_cycles = 1_000
+        env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="cp"
+        )
+        assert env.recovery.tick() == []  # baseline just taken, not due
+        env.machine.clock.advance(2_000)
+        taken = env.recovery.tick()
+        assert len(taken) == 1
+
+    def test_pending_commands_captured(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="cp"
+        )
+        ctx = env.controller.context_for(svc.enclave_id)
+        bsp = svc.enclave.assignment.core_ids[0]
+        # Enqueue without ringing the doorbell: stays unacknowledged.
+        ctx.queues[bsp].enqueue(CommandType.PING)
+        cp = env.recovery.checkpoint_now("cp")
+        assert cp.pending_commands == ((0, (CommandType.PING,)),)
+
+
+class TestRestoreRoundTrip:
+    def test_resource_assignment_round_trips(self, env, small_layout):
+        """Property: the restored incarnation's resource shape equals the
+        pre-fault checkpoint's."""
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="rt"
+        )
+        pre = env.recovery.checkpoints.latest[svc.enclave_id].resources
+        crash(svc.enclave)
+        assert svc.phase is RecoveryPhase.RUNNING
+        post = env.recovery.checkpoints.latest[svc.enclave_id].resources
+        assert post.cores_per_zone == pre.cores_per_zone
+        assert post.mem_per_zone == pre.mem_per_zone
+        assert post.kernel_type == pre.kernel_type
+
+    def test_xemem_exports_round_trip(self, env, small_layout):
+        """Property: restored exports match the pre-fault snapshot —
+        names, sizes, and surviving attachers."""
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="rt"
+        )
+        peer = env.launch(small_layout, CovirtConfig.full(), name="peer")
+        task = svc.enclave.kernel.spawn("exporter", mem_bytes=2 * MiB)
+        for name in ("buf-a", "buf-b"):
+            seg = env.mcp.xemem.make(
+                svc.enclave_id, name, task.slices[0].start, MiB
+            )
+            env.mcp.xemem.attach(HOST_ENCLAVE_ID, seg.segid)
+        extra = env.mcp.xemem.make(
+            svc.enclave_id, "buf-peer", task.slices[0].start + MiB, MiB
+        )
+        env.mcp.xemem.attach(peer.enclave_id, extra.segid)
+        env.recovery.checkpoint_now("rt")
+        pre = {
+            (s.name, s.size, tuple(sorted(s.attachments)))
+            for s in env.mcp.xemem.names.segments_owned_by(svc.enclave_id)
+        }
+        old_id = svc.enclave_id
+        crash(svc.enclave)
+        assert svc.phase is RecoveryPhase.RUNNING
+        assert svc.enclave_id != old_id
+        post = {
+            (s.name, s.size, tuple(sorted(s.attachments)))
+            for s in env.mcp.xemem.names.segments_owned_by(svc.enclave_id)
+        }
+        assert post == pre
+        # The peer can use its restored attachment.
+        restored = env.mcp.xemem.names.lookup("buf-peer")
+        assert peer.enclave_id in restored.attachments
+
+    def test_tasks_and_pending_commands_replayed(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="rt"
+        )
+        svc.enclave.kernel.spawn("worker-0", mem_bytes=MiB, core_id=None)
+        ctx = env.controller.context_for(svc.enclave_id)
+        bsp = svc.enclave.assignment.core_ids[0]
+        ctx.queues[bsp].enqueue(CommandType.PING)
+        env.recovery.checkpoint_now("rt")
+        crash(svc.enclave)
+        assert svc.phase is RecoveryPhase.RUNNING
+        names = {t.name for t in svc.enclave.kernel.tasks.values()}
+        assert "worker-0" in names
+        assert svc.last_replay is not None
+        assert any(
+            label.startswith("PING") for label in svc.last_replay.commands_replayed
+        )
+
+    def test_terminate_command_never_replayed(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="rt"
+        )
+        ctx = env.controller.context_for(svc.enclave_id)
+        bsp = svc.enclave.assignment.core_ids[0]
+        env.recovery.checkpoints.interval_cycles = 0  # checkpoint on every tick
+        # The TERMINATE lands via the doorbell, so the supervisor's
+        # periodic checkpoint (taken before the fault) must have seen it
+        # pending; verify replay refuses it anyway via a manual enqueue.
+        ctx.queues[bsp].enqueue(CommandType.TERMINATE)
+        env.recovery.checkpoint_now("rt")
+        crash(svc.enclave)
+        assert svc.phase is RecoveryPhase.RUNNING
+        assert svc.last_replay is not None
+        assert svc.last_replay.commands_replayed == []
+        assert any(
+            label.startswith("TERMINATE")
+            for label in svc.last_replay.commands_skipped
+        )

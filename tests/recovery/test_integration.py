@@ -1,0 +1,141 @@
+"""Recovery under co-location: a crash-looping neighbor must be
+invisible to a co-running enclave, and dependents must be re-wired."""
+
+from __future__ import annotations
+
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.harness.env import Layout
+from repro.recovery.policy import RestartWithBackoff
+from repro.recovery.supervisor import RecoveryPhase
+from repro.xemem.segment import HOST_ENCLAVE_ID
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+def crash(enclave) -> None:
+    bsp = enclave.assignment.core_ids[0]
+    try:
+        enclave.port.read(bsp, 50 * GiB, 8)
+    except EnclaveFaultError:
+        pass
+
+
+class TestCoRunningIsolation:
+    def test_neighbor_sees_zero_faults_through_crash_loop(
+        self, env, small_layout
+    ):
+        """The acceptance scenario: one enclave crash-loops and recovers
+        repeatedly; its co-running neighbor computes undisturbed."""
+        neighbor = env.launch(small_layout, CovirtConfig.full(), name="neighbor")
+        victim = env.launch_supervised(
+            small_layout, CovirtConfig.full(),
+            RestartWithBackoff(base_delay_cycles=10_000, jitter_fraction=0.0),
+            name="victim",
+        )
+        ncore = neighbor.assignment.core_ids[0]
+        scratch = neighbor.kernel.kmalloc(MiB)
+
+        for round_no in range(4):
+            # Neighbor does real work before, during, and after each crash.
+            neighbor.kernel.touch(ncore, scratch.start, 4096, write=True)
+            crash(victim.enclave)
+            assert victim.phase is RecoveryPhase.RUNNING
+            neighbor.kernel.touch(ncore, scratch.start, 4096)
+
+        assert victim.incarnation == 5
+        # Zero faults observed by the neighbor: still running, never
+        # terminated, no dossier, no fault record.
+        assert neighbor.is_running
+        assert neighbor.fault is None
+        assert neighbor.enclave_id not in env.controller.dossiers
+        nctx = env.controller.context_for(neighbor.enclave_id)
+        assert all(not hv.terminated for hv in nctx.hypervisors.values())
+        # And the node is intact.
+        assert env.host.alive
+        assert env.host.verify_integrity()
+
+    def test_host_resource_accounting_balances_after_crash_loop(
+        self, env, small_layout
+    ):
+        victim = env.launch_supervised(
+            small_layout, CovirtConfig.full(),
+            RestartWithBackoff(base_delay_cycles=1_000), name="victim",
+        )
+        for _ in range(3):
+            crash(victim.enclave)
+        # Exactly one incarnation's worth of resources is checked out.
+        from repro.pisces.resources import enclave_owner
+
+        live = env.machine.memory.total_owned(enclave_owner(victim.enclave_id))
+        assert live == 2 * GiB
+        for dead_id in victim.past_enclave_ids:
+            assert env.machine.memory.total_owned(enclave_owner(dead_id)) == 0
+
+
+class TestDependentRewiring:
+    def test_dependents_renotified_after_recovery(self, env, small_layout):
+        """A dependent that was told 'your provider died' must then be
+        told 'your provider is back (as enclave N)'."""
+        provider = env.launch_supervised(
+            small_layout, CovirtConfig.full(),
+            RestartWithBackoff(base_delay_cycles=1_000), name="provider",
+        )
+        consumer = env.launch(small_layout, CovirtConfig.full(), name="consumer")
+        task = provider.enclave.kernel.spawn("exporter", mem_bytes=MiB)
+        seg = env.mcp.xemem.make(
+            provider.enclave_id, "feed", task.slices[0].start, MiB
+        )
+        env.mcp.xemem.attach(consumer.enclave_id, seg.segid)
+        env.recovery.checkpoint_now("provider")
+        old_id = provider.enclave_id
+
+        crash(provider.enclave)
+        assert provider.phase is RecoveryPhase.RUNNING
+
+        # Failure notification went out...
+        revoked = [
+            n for n in env.mcp.notifications
+            if n.enclave_id == consumer.enclave_id and "revoked" in n.what
+        ]
+        assert revoked
+        # ...and so did the recovery notification, naming the successor.
+        recovered = [
+            n for n in env.mcp.notifications
+            if n.enclave_id == consumer.enclave_id
+            and n.about_enclave_id == old_id
+            and "recovered as enclave" in n.what
+        ]
+        assert len(recovered) == 1
+        assert str(provider.enclave_id) in recovered[0].what
+        # The consumer's attachment to the re-exported segment works.
+        restored = env.mcp.xemem.names.lookup("feed")
+        assert consumer.enclave_id in restored.attachments
+
+    def test_host_attachment_restored(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(),
+            RestartWithBackoff(base_delay_cycles=1_000), name="svc",
+        )
+        task = svc.enclave.kernel.spawn("exporter", mem_bytes=MiB)
+        seg = env.mcp.xemem.make(svc.enclave_id, "hbuf", task.slices[0].start, MiB)
+        env.mcp.xemem.attach(HOST_ENCLAVE_ID, seg.segid)
+        env.recovery.checkpoint_now("svc")
+        crash(svc.enclave)
+        restored = env.mcp.xemem.names.lookup("hbuf")
+        assert restored.owner_enclave_id == svc.enclave_id
+        assert HOST_ENCLAVE_ID in restored.attachments
+
+
+class TestChannelRewiring:
+    def test_recovered_enclave_gets_fresh_channel(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(),
+            RestartWithBackoff(base_delay_cycles=1_000), name="svc",
+        )
+        old_id = svc.enclave_id
+        crash(svc.enclave)
+        assert old_id not in env.mcp.channels
+        assert svc.enclave_id in env.mcp.channels
+        assert svc.enclave.kernel.hobbes_client is not None

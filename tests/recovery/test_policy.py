@@ -1,0 +1,190 @@
+"""Unit tests for the recovery policies (pure decision functions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import FaultKey, detail_class
+from repro.pisces.resources import ResourceSpec
+from repro.recovery.policy import (
+    Failover,
+    PolicyContext,
+    Quarantine,
+    RecoveryAction,
+    RestartAlways,
+    RestartWithBackoff,
+)
+
+GiB = 1 << 30
+
+
+def key(kind: str = "ept_violation", enclave_id: int = 1, detail: str = "x") -> FaultKey:
+    return FaultKey(kind, enclave_id, detail_class(detail))
+
+
+def spec() -> ResourceSpec:
+    return ResourceSpec(
+        cores_per_zone={0: 1, 1: 1}, mem_per_zone={0: GiB, 1: GiB}, name="svc"
+    )
+
+
+def ctx(history: list[FaultKey], tsc: int = 1_000, num_zones: int = 2) -> PolicyContext:
+    return PolicyContext(
+        key=history[-1],
+        history=history,
+        detection_tsc=tsc,
+        spec=spec(),
+        num_zones=num_zones,
+    )
+
+
+class TestRestartAlways:
+    def test_always_restarts(self):
+        policy = RestartAlways()
+        history = [key() for _ in range(50)]
+        decision = policy.decide(ctx(history))
+        assert decision.action is RecoveryAction.RESTART
+        assert decision.delay_cycles == 0
+
+
+class TestRestartWithBackoff:
+    def test_schedule_is_exponential(self):
+        policy = RestartWithBackoff(
+            base_delay_cycles=1_000, factor=2, jitter_fraction=0.0,
+            max_delay_cycles=1 << 40,
+        )
+        delays = [policy.delay_for(attempt, 0) for attempt in range(1, 6)]
+        assert delays == [1_000, 2_000, 4_000, 8_000, 16_000]
+
+    def test_schedule_is_capped(self):
+        policy = RestartWithBackoff(
+            base_delay_cycles=1_000, factor=10, max_delay_cycles=5_000,
+            jitter_fraction=0.0,
+        )
+        assert policy.delay_for(10, 0) == 5_000
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RestartWithBackoff(
+            base_delay_cycles=10_000, factor=1, jitter_fraction=0.5
+        )
+        a = policy.delay_for(1, detection_tsc=12345)
+        b = policy.delay_for(1, detection_tsc=12345)
+        assert a == b  # same sim state → same delay: runs replay identically
+        assert 10_000 <= a < 15_000
+        # Different detection times spread across the span.
+        spread = {policy.delay_for(1, t) for t in range(1, 200)}
+        assert len(spread) > 10
+
+    def test_decide_restarts_with_growing_delay(self):
+        policy = RestartWithBackoff(
+            base_delay_cycles=1_000, factor=2, jitter_fraction=0.0
+        )
+        history: list[FaultKey] = []
+        delays = []
+        for _ in range(3):
+            history.append(key())
+            decision = policy.decide(ctx(list(history)))
+            assert decision.action is RecoveryAction.RESTART
+            delays.append(decision.delay_cycles)
+        assert delays == [1_000, 2_000, 4_000]
+
+    def test_give_up_threshold(self):
+        policy = RestartWithBackoff(max_retries=3)
+        history = [key() for _ in range(3)]
+        assert policy.decide(ctx(history)).action is RecoveryAction.RESTART
+        history.append(key())
+        decision = policy.decide(ctx(history))
+        assert decision.action is RecoveryAction.GIVE_UP
+        assert "gave up" in decision.reason
+
+
+class TestFailover:
+    def test_rotates_zones(self):
+        policy = Failover()
+        respec = policy.placement_for(spec(), attempt=1, num_zones=2)
+        assert respec.cores_per_zone == {1: 1, 0: 1}  # symmetric spec: same shape
+        lopsided = ResourceSpec(
+            cores_per_zone={0: 2}, mem_per_zone={0: GiB}, name="svc"
+        )
+        moved = policy.placement_for(lopsided, attempt=1, num_zones=2)
+        assert moved.cores_per_zone == {1: 2}
+        assert moved.mem_per_zone == {1: GiB}
+        back = policy.placement_for(lopsided, attempt=2, num_zones=2)
+        assert back.cores_per_zone == {0: 2}
+
+    def test_single_zone_machine_keeps_placement(self):
+        policy = Failover()
+        original = spec()
+        assert policy.placement_for(original, 3, num_zones=1) is original
+
+    def test_decide_carries_respec(self):
+        policy = Failover()
+        lopsided = ResourceSpec(
+            cores_per_zone={0: 1}, mem_per_zone={0: GiB}, name="svc"
+        )
+        context = PolicyContext(
+            key=key(), history=[key()], detection_tsc=0,
+            spec=lopsided, num_zones=2,
+        )
+        decision = policy.decide(context)
+        assert decision.action is RecoveryAction.RESTART
+        assert decision.respec is not None
+        assert decision.respec.cores_per_zone == {1: 1}
+
+
+class TestQuarantine:
+    def test_same_signature_quarantines(self):
+        policy = Quarantine(inner=RestartAlways(), max_repeats=3)
+        # The *same bug* across different incarnations: different enclave
+        # ids, identical (kind, detail-class) signature.
+        history = [
+            key(enclave_id=i, detail="EPT violation: read of gpa 0xdead000")
+            for i in (1, 5, 9)
+        ]
+        decision = policy.decide(ctx(history))
+        assert decision.action is RecoveryAction.QUARANTINE
+        assert "repeated" in decision.reason
+
+    def test_distinct_signatures_do_not_group(self):
+        policy = Quarantine(inner=RestartAlways(), max_repeats=3)
+        history = [
+            key(detail="EPT violation: read of gpa 0x1000"),
+            key(kind="abort_exception", detail="DOUBLE_FAULT"),
+            key(kind="triple_fault", detail="guest triple fault"),
+        ]
+        decision = policy.decide(ctx(history))
+        assert decision.action is RecoveryAction.RESTART
+
+    def test_detail_class_collapses_addresses_and_counts(self):
+        # Grouping must survive varying addresses in the detail string.
+        a = key(enclave_id=1, detail="read of unmapped gpa 0xc80000000")
+        b = key(enclave_id=7, detail="read of unmapped gpa 0xdeadbeef00")
+        assert a.signature == b.signature
+        c = key(enclave_id=1, detail="vector 150 dropped")
+        d = key(enclave_id=1, detail="vector 99 dropped")
+        assert c.signature == d.signature
+        assert a.signature != c.signature
+
+    def test_delegates_below_threshold(self):
+        inner = RestartWithBackoff(base_delay_cycles=777, jitter_fraction=0.0)
+        policy = Quarantine(inner=inner, max_repeats=5)
+        decision = policy.decide(ctx([key()]))
+        assert decision.action is RecoveryAction.RESTART
+        assert decision.delay_cycles == 777
+
+
+class TestCovirtFaultKey:
+    def test_fault_key_is_stable_and_hashable(self):
+        from repro.core.faults import CovirtFault, FaultKind
+
+        f1 = CovirtFault(
+            kind=FaultKind.EPT_VIOLATION, enclave_id=3, core_id=0,
+            tsc=100, detail="read of unmapped gpa 0xc80000000",
+        )
+        f2 = CovirtFault(
+            kind=FaultKind.EPT_VIOLATION, enclave_id=3, core_id=1,
+            tsc=999, detail="read of unmapped gpa 0xc80000000",
+        )
+        assert f1.key() == f2.key()  # core/tsc don't affect identity
+        assert hash(f1.key()) == hash(f2.key())
+        assert f1.key().signature == ("ept_violation", "read of unmapped gpa <addr>")

@@ -1,0 +1,139 @@
+"""Scrub: a relaunch over leaked resources must be refused.
+
+The whole point of Covirt is that faults don't leak protected
+resources.  If one ever did, the recovery layer must surface it — not
+launder it into a "successful" restart.  These tests simulate leaks by
+hand-editing post-reclaim state and assert the scrubber rejects the
+relaunch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import EnclaveFaultError
+from repro.core.features import CovirtConfig
+from repro.hw.memory import MemoryRegion, PAGE_SIZE
+from repro.linuxhost.host import LINUX_OWNER
+from repro.pisces.resources import enclave_owner
+from repro.recovery.policy import RestartAlways
+from repro.recovery.scrub import ScrubError
+from repro.recovery.supervisor import RecoveryPhase
+from repro.xemem.segment import HOST_ENCLAVE_ID
+
+GiB = 1 << 30
+
+
+def crash(enclave) -> None:
+    bsp = enclave.assignment.core_ids[0]
+    try:
+        enclave.port.read(bsp, 50 * GiB, 8)
+    except EnclaveFaultError:
+        pass
+
+
+@pytest.fixture
+def parked_service(env, small_layout):
+    """A supervised service that has faulted with auto-recovery off, so
+    the test can corrupt post-reclaim state before manual recovery."""
+    env.recovery.auto = False
+    svc = env.launch_supervised(
+        small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+    )
+    crash(svc.enclave)
+    assert svc.phase is RecoveryPhase.TERMINATED
+    return svc
+
+
+class TestScrubRejection:
+    def test_leaked_memory_rejects_relaunch(self, env, parked_service):
+        svc = parked_service
+        old_id = svc.enclave_id
+        # Simulate a protection bug: a page that was reclaimed to the
+        # host is still attributed to the dead enclave.
+        region = MemoryRegion(0, 4 * PAGE_SIZE)
+        env.machine.memory.transfer(region, LINUX_OWNER, enclave_owner(old_id))
+        with pytest.raises(ScrubError) as exc:
+            env.recovery.recover("svc")
+        assert svc.phase is RecoveryPhase.SCRUB_FAILED
+        assert "owned by" in str(exc.value)
+        # No relaunch happened: the service still points at the corpse.
+        assert svc.enclave_id == old_id
+        assert svc.incarnation == 1
+        rec = env.recovery.metrics.records[-1]
+        assert rec.outcome == "scrub-failed"
+
+    def test_lingering_vector_grant_rejects_relaunch(self, env, parked_service):
+        svc = parked_service
+        env.mcp.vectors.allocate(
+            dest_core=0,
+            dest_enclave_id=HOST_ENCLAVE_ID,
+            allowed_senders={svc.enclave_id},
+            purpose="leaked grant",
+        )
+        with pytest.raises(ScrubError, match="vector grant"):
+            env.recovery.recover("svc")
+        assert svc.phase is RecoveryPhase.SCRUB_FAILED
+
+    def test_auto_mode_parks_instead_of_raising(self, env, small_layout):
+        """In auto mode the scrub failure must not poison the fault
+        path — the service parks and the fault still reaches the guest's
+        caller as EnclaveFaultError."""
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+        )
+        old_id = svc.enclave_id
+        # Pre-arrange the leak: a grant naming the enclave that the MCP's
+        # release path doesn't know about (registered against the host
+        # core so enclave teardown misses it is simulated by re-adding
+        # after the fault via a fault hook ordering trick — simplest is
+        # to leak memory attribution instead, which survives reclaim).
+        leak = MemoryRegion(0, PAGE_SIZE)
+
+        def leak_on_failure(enclave_id, record, _leak=leak):
+            if enclave_id == old_id:
+                env.machine.memory.transfer(
+                    _leak, LINUX_OWNER, enclave_owner(old_id)
+                )
+
+        # Runs before the supervisor's hook (registered earlier? no —
+        # insert at the front to be safe).
+        env.mcp.on_enclave_failed.insert(0, leak_on_failure)
+        with pytest.raises(EnclaveFaultError):
+            bsp = svc.enclave.assignment.core_ids[0]
+            svc.enclave.port.read(bsp, 50 * GiB, 8)
+        assert svc.phase is RecoveryPhase.SCRUB_FAILED
+        assert svc.incarnation == 1
+        assert env.recovery.metrics.records[-1].outcome == "scrub-failed"
+
+    def test_clean_scrub_allows_relaunch(self, env, parked_service):
+        svc = parked_service
+        env.recovery.recover("svc")
+        assert svc.phase is RecoveryPhase.RUNNING
+        assert svc.incarnation == 2
+
+
+class TestScrubReport:
+    def test_clean_report_on_honest_teardown(self, env, small_layout):
+        """Scrub runs pre-relaunch: after Covirt's honest fault path,
+        every resource of the dead incarnation is back with the host."""
+        env.recovery.auto = False
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+        )
+        old_id = svc.enclave_id
+        old_cores = tuple(svc.enclave.assignment.core_ids)
+        crash(svc.enclave)
+        report = env.recovery.scrubber.scrub(old_id, old_cores)
+        assert report.clean
+        assert report.checks_run >= 8
+        assert "CLEAN" in report.render()
+
+    def test_scrub_cost_charged_to_clock(self, env, small_layout):
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+        )
+        before = env.machine.clock.now
+        report = env.recovery.scrubber.scrub(svc.enclave_id + 999)
+        assert env.machine.clock.now == before + report.cost_cycles
+        assert report.cost_cycles > 0
