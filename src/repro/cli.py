@@ -190,6 +190,85 @@ def run_recovery_demo() -> int:
     return 1 if failures else 0
 
 
+def run_fuzz(args) -> int:
+    """Drive a seeded fuzz campaign; print the transcript and verdict."""
+    from repro.fuzz import FuzzEngine, SCHEDULES, save_run, shrink_run
+
+    if args.schedule not in SCHEDULES:
+        print(
+            f"unknown schedule {args.schedule!r}; "
+            f"choose from: {', '.join(sorted(SCHEDULES))}",
+            file=sys.stderr,
+        )
+        return 2
+    engine = FuzzEngine(seed=args.seed, schedule=args.schedule)
+    run = engine.run(args.steps)
+    for step in run.steps:
+        print(step.describe())
+    print()
+    print(run.describe())
+    if args.save is not None:
+        path = save_run(run, args.save)
+        print(f"[wrote {path}]")
+    if run.failure is not None and args.shrink_on_failure:
+        result = shrink_run(run)
+        print(result.describe())
+        if args.save is not None:
+            path = save_run(result.minimized, args.save)
+            print(f"[wrote shrunk reproducer {path}]")
+    return 1 if run.failure is not None else 0
+
+
+def run_replay(args) -> int:
+    """Re-execute recorded corpus runs; fail on any divergence."""
+    from pathlib import Path
+
+    from repro.fuzz import load_corpus, replay_run
+    from repro.fuzz.corpus import load_run
+
+    target = Path(args.path)
+    entries = (
+        load_corpus(target) if target.is_dir() else [(target, load_run(target))]
+    )
+    if not entries:
+        print(f"no corpus entries under {target}", file=sys.stderr)
+        return 2
+    divergent = 0
+    for path, run in entries:
+        result = replay_run(run)
+        status = "ok" if result.matches else "DIVERGED"
+        print(f"{path.name:60s} {run.describe()}")
+        print(f"{'':60s} replay: {status}")
+        if not result.matches:
+            divergent += 1
+            for diff in result.diffs:
+                print(f"{'':62s} {diff}")
+    print(
+        f"\n{len(entries) - divergent}/{len(entries)} corpus entries "
+        f"reproduced byte-for-byte"
+    )
+    return 1 if divergent else 0
+
+
+def run_shrink(args) -> int:
+    """Minimize a recorded failing run to its shortest reproducer."""
+    from repro.fuzz import save_run, shrink_run
+    from repro.fuzz.corpus import load_run
+
+    run = load_run(args.path)
+    if run.failure is None:
+        print(f"{args.path} recorded a clean run; nothing to shrink")
+        return 0
+    result = shrink_run(run, max_executions=args.max_executions)
+    print(result.describe())
+    for step in result.minimized.steps:
+        print(step.describe())
+    if args.save is not None:
+        path = save_run(result.minimized, args.save)
+        print(f"[wrote {path}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -219,6 +298,38 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "verify", help="check every paper shape claim against its band"
     )
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded deterministic fault-injection campaign "
+        "(see docs/fuzzing.md)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0xC0517)
+    fuzz.add_argument("--steps", type=int, default=200)
+    fuzz.add_argument(
+        "--schedule",
+        default="baseline",
+        help="action-mix weight table: baseline, hostile, churn, recovery",
+    )
+    fuzz.add_argument(
+        "--save", metavar="DIR", default=None, help="serialize the run to DIR"
+    )
+    fuzz.add_argument(
+        "--shrink-on-failure",
+        action="store_true",
+        help="on failure, minimize the sequence before exiting",
+    )
+    replay = sub.add_parser(
+        "replay", help="re-execute a recorded fuzz run (file or corpus dir)"
+    )
+    replay.add_argument("path", help="corpus .json file or directory")
+    shrink = sub.add_parser(
+        "shrink", help="minimize a recorded failing run (ddmin)"
+    )
+    shrink.add_argument("path", help="corpus .json file")
+    shrink.add_argument("--max-executions", type=int, default=200)
+    shrink.add_argument(
+        "--save", metavar="DIR", default=None, help="write the minimized run to DIR"
+    )
     args = parser.parse_args(argv)
 
     if args.command == "verify":
@@ -236,6 +347,12 @@ def main(argv: list[str] | None = None) -> int:
         return run_fault_demo()
     if args.command == "recovery-demo":
         return run_recovery_demo()
+    if args.command == "fuzz":
+        return run_fuzz(args)
+    if args.command == "replay":
+        return run_replay(args)
+    if args.command == "shrink":
+        return run_shrink(args)
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     return run_experiments(names, json_dir=args.json)
 

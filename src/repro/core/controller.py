@@ -125,6 +125,14 @@ class CovirtController:
         #: dead enclave's resources reclaimed — the seam the recovery
         #: supervisor (:mod:`repro.recovery.supervisor`) hangs off.
         self.fault_hooks: list = []
+        #: Subscribers notified after every virtualization-configuration
+        #: update the controller applies (EPT map/unmap, whitelist
+        #: rewrite), with ``(tsc, detail)`` also appended to
+        #: :attr:`config_log`.  The fuzz oracles use this to know an
+        #: async reconfiguration happened and re-audit TLB/EPT
+        #: coherence; the log length feeds the determinism fingerprint.
+        self.config_hooks: list = []
+        self.config_log: list[tuple[int, str]] = []
         #: Crash reports by enclave id (see :mod:`repro.core.debug`).
         self.dossiers: dict[int, "FaultDossier"] = {}
         #: Every co-kernel framework this controller protects.
@@ -273,12 +281,21 @@ class CovirtController:
 
     # -- dynamic memory configuration -------------------------------------
 
+    def _note_config(self, detail: str) -> None:
+        self.config_log.append((self.machine.clock.now, detail))
+        for hook in list(self.config_hooks):
+            hook(self.machine.clock.now, detail)
+
     def _on_memory_grant(self, enclave: Enclave, region: MemoryRegion) -> None:
         """Expansion: map first, return immediately (no coordination)."""
         ctx = self.contexts.get(enclave.enclave_id)
         if ctx is None or ctx.ept is None:
             return
         ctx.ept.map_region(region)
+        self._note_config(
+            f"ept-map enclave {enclave.enclave_id} "
+            f"[{region.start:#x}+{region.size:#x}]"
+        )
         for vmcs in ctx.vmcs.values():
             vmcs.touch()
         if self.synchronous_updates:
@@ -293,6 +310,10 @@ class CovirtController:
         if ctx is None or ctx.ept is None:
             return
         ctx.ept.unmap_region(region)
+        self._note_config(
+            f"ept-unmap enclave {enclave.enclave_id} "
+            f"[{region.start:#x}+{region.size:#x}]"
+        )
         for vmcs in ctx.vmcs.values():
             vmcs.touch()
         self.issue_memory_update(ctx)
@@ -339,12 +360,20 @@ class CovirtController:
             ctx = self.contexts.get(sender_id)
             if ctx is not None and ctx.whitelist is not None:
                 ctx.whitelist.allow(grant.dest_core, grant.vector)
+                self._note_config(
+                    f"whitelist-allow sender {sender_id} "
+                    f"→ core {grant.dest_core} vec {grant.vector}"
+                )
 
     def _on_vector_revoke(self, grant: VectorGrant) -> None:
         for sender_id in grant.allowed_senders:
             ctx = self.contexts.get(sender_id)
             if ctx is not None and ctx.whitelist is not None:
                 ctx.whitelist.revoke(grant.dest_core, grant.vector)
+                self._note_config(
+                    f"whitelist-revoke sender {sender_id} "
+                    f"→ core {grant.dest_core} vec {grant.vector}"
+                )
 
     # -- fault path --------------------------------------------------------
 

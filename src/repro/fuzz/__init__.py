@@ -1,0 +1,46 @@
+"""repro.fuzz — deterministic fault-injection fuzzing for Covirt.
+
+A seeded engine drives randomized sequences of guest actions — memory
+touches inside/outside the assignment, IPIs to owned and foreign cores,
+MSR/port accesses on and off the whitelist, XEMEM churn, hot-plug
+reassignment races, abort-class exceptions, and mid-recovery re-faults —
+against a multi-enclave :class:`~repro.harness.env.CovirtEnvironment`.
+Every step is checked by an oracle pack of machine-wide invariants, any
+run is replayable byte-for-byte from ``(seed, schedule)``, failing
+sequences shrink to their shortest reproducer, and reproducers
+serialize to a JSON corpus that pytest replays as regression tests.
+
+Because the whole simulator is deterministic given its inputs, the
+engine's RNG is the *only* entropy in a run: two runs with the same
+``(seed, schedule, steps)`` produce identical event traces, identical
+performance counters, and identical final machine state.
+"""
+
+from repro.fuzz.actions import Action, ActionKind
+from repro.fuzz.corpus import load_corpus, load_run, save_run
+from repro.fuzz.engine import FuzzEngine, SCHEDULES
+from repro.fuzz.oracles import OraclePack, OracleViolation
+from repro.fuzz.recorder import FuzzRun, ReplayResult, StepRecord, replay_run
+from repro.fuzz.rng import DEFAULT_SEED, FuzzRng, named_stream
+from repro.fuzz.shrink import ShrinkResult, shrink_run
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "DEFAULT_SEED",
+    "FuzzEngine",
+    "FuzzRng",
+    "FuzzRun",
+    "OraclePack",
+    "OracleViolation",
+    "ReplayResult",
+    "SCHEDULES",
+    "ShrinkResult",
+    "StepRecord",
+    "load_corpus",
+    "load_run",
+    "named_stream",
+    "replay_run",
+    "save_run",
+    "shrink_run",
+]

@@ -1,0 +1,69 @@
+"""The fuzz action taxonomy.
+
+An :class:`Action` is one concrete guest (or management-plane) operation
+with fully resolved parameters — slot indexes instead of enclave ids,
+page indexes instead of raw addresses — so a recorded sequence replays
+identically on a fresh environment regardless of what ids that
+environment mints.  Actions are plain JSON-serializable data; all
+interpretation lives in :mod:`repro.fuzz.engine`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ActionKind(enum.Enum):
+    """Everything the fuzzer knows how to do to the machine."""
+
+    # lifecycle
+    LAUNCH = "launch"  # boot a supervised enclave into a free slot
+    SHUTDOWN = "shutdown"  # orderly teardown of a slot
+    # memory
+    TOUCH_INSIDE = "touch_inside"  # legit access within the assignment
+    TOUCH_OUTSIDE = "touch_outside"  # wild access → terminating fault
+    TOUCH_FOREIGN = "touch_foreign"  # access inside a *sibling* enclave
+    # IPIs
+    IPI_OWNED = "ipi_owned"  # to one of the sender's own cores
+    IPI_FOREIGN = "ipi_foreign"  # to a core it does not own
+    # MSRs / ports
+    MSR_READ = "msr_read"
+    MSR_WRITE_BENIGN = "msr_write_benign"
+    MSR_WRITE_SENSITIVE = "msr_write_sensitive"  # denied-and-logged
+    IO_PORT_HOST = "io_port_host"  # host-owned port → denied
+    # XEMEM churn
+    XEMEM_MAKE = "xemem_make"
+    XEMEM_ATTACH = "xemem_attach"
+    XEMEM_DETACH = "xemem_detach"
+    XEMEM_REMOVE = "xemem_remove"
+    # dynamic reassignment
+    HOTPLUG_ADD = "hotplug_add"
+    HOTPLUG_REMOVE = "hotplug_remove"
+    REVOKE_THEN_TOUCH = "revoke_then_touch"  # reassignment race
+    # exceptions / control plane
+    RAISE_ABORT = "raise_abort"  # double fault → containment
+    COMMAND_PING = "command_ping"  # full command-queue round trip
+    TICK = "tick"  # elapse time + checkpoint housekeeping
+    ARM_MID_RECOVERY_FAULT = "arm_mid_recovery_fault"  # re-fault during recovery
+
+
+@dataclass(frozen=True)
+class Action:
+    """One concrete, replayable operation."""
+
+    kind: ActionKind
+    #: Fully resolved parameters (slot indexes, page indexes, vectors…).
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind.value, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Action":
+        return cls(kind=ActionKind(data["kind"]), params=dict(data["params"]))
+
+    def describe(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.kind.value}({inner})" if inner else self.kind.value

@@ -1,0 +1,57 @@
+"""The on-disk regression corpus.
+
+Each corpus file is one serialized :class:`~repro.fuzz.recorder.FuzzRun`
+(JSON).  ``tests/fuzz/test_corpus_replay.py`` replays every file on a
+fresh environment and requires byte-for-byte reproduction: since the
+recorded outcomes include every fault signature, denial, recovery, and
+the final machine fingerprint, a corpus entry is a very dense regression
+test — any behavioural drift anywhere in the stack breaks its replay.
+
+Clean runs are corpus-worthy too: they pin down the *expected* behaviour
+of scenarios the fuzzer found interesting.  Genuine failures (oracle
+violations, unexpected exceptions) should be shrunk first, then
+committed; fixing the underlying bug will break the entry's replay,
+at which point it gets re-recorded against the fixed behaviour.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.fuzz.recorder import FuzzRun
+
+#: Default corpus location, relative to the repo root.
+DEFAULT_CORPUS_DIR = Path("tests/fuzz/corpus")
+
+
+def corpus_name(run: FuzzRun) -> str:
+    """Canonical filename: schedule, seed, length, fingerprint prefix."""
+    tag = "fail" if run.failure is not None else "clean"
+    return (
+        f"{run.schedule}-s{run.seed}-n{len(run.steps)}"
+        f"-{tag}-{run.fingerprint[:12]}.json"
+    )
+
+
+def save_run(run: FuzzRun, directory: str | Path, name: str | None = None) -> Path:
+    """Serialize ``run`` into ``directory`` (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (name or corpus_name(run))
+    path.write_text(run.to_json())
+    return path
+
+
+def load_run(path: str | Path) -> FuzzRun:
+    return FuzzRun.from_json(Path(path).read_text())
+
+
+def load_corpus(directory: str | Path) -> list[tuple[Path, FuzzRun]]:
+    """Every ``*.json`` run in ``directory``, sorted by filename so
+    iteration order is stable across filesystems."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_run(path)) for path in sorted(directory.glob("*.json"))
+    ]

@@ -1,0 +1,66 @@
+"""Named deterministic RNG streams.
+
+Every source of randomness in the reproduction — the fuzz engine, the
+stress walk, workload reference kernels, property tests — draws from a
+:class:`FuzzRng` stream identified by ``(seed, name)``.  The name is
+hashed into the underlying seed, so independent components get
+decorrelated streams from one printed seed, and any run anywhere in the
+repo is reproducible by quoting that single number.
+
+The stream seed derivation is SHA-256 based and therefore stable across
+Python versions and platforms (unlike ``hash()``, which is salted).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+#: The repo-wide default seed; tests print whichever seed they use so a
+#: failure report is always reproducible.
+DEFAULT_SEED = 0xC0517  # "COVIRT", squinting
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Collapse ``(seed, name)`` into one 64-bit stream seed."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class FuzzRng(random.Random):
+    """A ``random.Random`` that knows its own identity.
+
+    Carries the root seed and stream name it was derived from, can
+    :meth:`fork` decorrelated child streams, and can mint a seeded
+    ``numpy`` generator for array-heavy consumers (workload reference
+    kernels) from the same identity.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED, name: str = "repro") -> None:
+        self.root_seed = int(seed)
+        self.name = name
+        super().__init__(derive_seed(self.root_seed, name))
+
+    def fork(self, child: str) -> "FuzzRng":
+        """A decorrelated child stream; forking is order-independent."""
+        return FuzzRng(self.root_seed, f"{self.name}/{child}")
+
+    def numpy_generator(self):
+        """A ``numpy.random.Generator`` seeded from this stream's
+        identity (imported lazily: the fuzz core itself is stdlib-only)."""
+        import numpy as np
+
+        return np.random.default_rng(derive_seed(self.root_seed, self.name))
+
+    def describe(self) -> str:
+        """The line a test prints so any failure is reproducible."""
+        return f"rng stream {self.name!r} seed={self.root_seed}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FuzzRng(seed={self.root_seed}, name={self.name!r})"
+
+
+def named_stream(name: str, seed: int = DEFAULT_SEED) -> FuzzRng:
+    """The stream ``name`` under ``seed`` — the one entry point every
+    component uses, so ``grep named_stream`` finds all randomness."""
+    return FuzzRng(seed, name)

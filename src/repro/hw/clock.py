@@ -125,6 +125,16 @@ class EventQueue:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
 
+    def pending_summary(self) -> list[tuple[int, int, str]]:
+        """``(when, seq, tag)`` for every live pending event, in firing
+        order.  Deterministic-scheduling introspection: two runs of the
+        same seeded scenario must agree on this at every step, so it
+        feeds the fuzz engine's state fingerprint.
+        """
+        return sorted(
+            (ev.when, ev.seq, ev.tag) for ev in self._heap if not ev.cancelled
+        )
+
     def run_until(self, deadline: int) -> int:
         """Fire every event scheduled at or before ``deadline``.
 

@@ -123,6 +123,15 @@ class Tlb:
         self.stats.invalidations += len(doomed)
         return len(doomed)
 
+    def entries(self) -> list[TlbEntry]:
+        """Snapshot of every cached translation, LRU-oldest first.
+
+        Read-only introspection for coherence checking: an auditor can
+        verify each cached translation against the current EPT without
+        perturbing LRU order or statistics.
+        """
+        return list(self._entries.values())
+
     def contains_translation_for(self, addr: int) -> bool:
         """Non-mutating probe (no LRU/stat side effects)."""
         for size_shift in (12, 21, 30):

@@ -27,6 +27,9 @@ class TraceKind(enum.Enum):
     RECOVER = "recover"
     #: A checkpoint section was captured (or skipped as unchanged).
     CHECKPOINT = "checkpoint"
+    #: A fuzz-oracle verdict (see :mod:`repro.fuzz.oracles`): either the
+    #: per-step pass summary or the invariant that was violated.
+    ORACLE = "oracle"
 
 
 @dataclass(frozen=True)

@@ -136,9 +136,22 @@ class RecoverySupervisor:
         self.metrics = RecoveryMetrics()
         self.trace = EventTrace(capacity=SUPERVISOR_TRACE_DEPTH)
         self.services: dict[str, SupervisedService] = {}
+        #: Observers fired on every phase transition, after the phase is
+        #: assigned.  The fuzz engine uses this seam to inject faults
+        #: *mid-recovery* (a sibling enclave dying while another is being
+        #: scrubbed/relaunched); hooks that provoke guest faults must
+        #: swallow the resulting ``EnclaveFaultError`` themselves.
+        self.phase_hooks: list = []
         mcp.on_enclave_failed.append(self._on_enclave_failed)
         if controller is not None:
             controller.fault_hooks.append(self._on_covirt_fault)
+
+    def _set_phase(self, service: SupervisedService, phase: RecoveryPhase) -> None:
+        """Single funnel for phase transitions, so observers see every
+        step of the state machine in order."""
+        service.phase = phase
+        for hook in list(self.phase_hooks):
+            hook(service, phase)
 
     # -- registration ----------------------------------------------------
 
@@ -227,7 +240,7 @@ class RecoverySupervisor:
 
     def _observe_failure(self, service: SupervisedService, key: FaultKey) -> None:
         detection_tsc = self.machine.clock.now
-        service.phase = RecoveryPhase.TERMINATED
+        self._set_phase(service, RecoveryPhase.TERMINATED)
         service.history.append(key)
         service.pending_key = key
         self._trace(
@@ -240,7 +253,7 @@ class RecoverySupervisor:
         try:
             self._recover(service, key, detection_tsc, raise_on_scrub=False)
         except Exception as exc:  # recovery must never poison the fault path
-            service.phase = RecoveryPhase.GIVEN_UP
+            self._set_phase(service, RecoveryPhase.GIVEN_UP)
             self._trace(
                 TraceKind.RECOVER,
                 f"{service.name!r} recovery aborted: {exc}",
@@ -300,7 +313,7 @@ class RecoverySupervisor:
         self._trace(TraceKind.RECOVER, f"{service.name!r}: {decision.reason}")
 
         def park(phase: RecoveryPhase, outcome: str, **extra) -> None:
-            service.phase = phase
+            self._set_phase(service, phase)
             self.metrics.record(
                 RecoveryRecord(
                     service=service.name,
@@ -327,10 +340,10 @@ class RecoverySupervisor:
             self.machine.clock.advance(decision.delay_cycles)
 
         # SCRUBBING — refuse to relaunch over leaked resources.
-        service.phase = RecoveryPhase.SCRUBBING
+        self._set_phase(service, RecoveryPhase.SCRUBBING)
         scrub_report = self.scrubber.scrub(old_id, old_cores)
         if not scrub_report.clean:
-            service.phase = RecoveryPhase.SCRUB_FAILED
+            self._set_phase(service, RecoveryPhase.SCRUB_FAILED)
             self._trace(
                 TraceKind.RECOVER,
                 f"{service.name!r} scrub rejected relaunch: "
@@ -354,7 +367,7 @@ class RecoverySupervisor:
             return
 
         # RELAUNCHING — same create → boot → wire path as a first launch.
-        service.phase = RecoveryPhase.RELAUNCHING
+        self._set_phase(service, RecoveryPhase.RELAUNCHING)
         spec = decision.respec or base_spec
         if self.controller is not None and service.config is not None:
             new_enclave = self.controller.launch(spec, service.config)
@@ -362,7 +375,7 @@ class RecoverySupervisor:
             new_enclave = self.mcp.relaunch_enclave(spec)
 
         # REPLAYING — restore exports, grants, tasks, pending commands.
-        service.phase = RecoveryPhase.REPLAYING
+        self._set_phase(service, RecoveryPhase.REPLAYING)
         if checkpoint is not None:
             replay_report = self.replayer.replay(checkpoint, new_enclave)
         else:
@@ -379,7 +392,7 @@ class RecoverySupervisor:
         service.spec = spec
         service.incarnation += 1
         new_enclave.incarnation = service.incarnation
-        service.phase = RecoveryPhase.RUNNING
+        self._set_phase(service, RecoveryPhase.RUNNING)
         service.pending_key = None
 
         completion_tsc = self.machine.clock.now

@@ -42,6 +42,14 @@ class IoBitmap:
         self._trapped.add(port)
         self._allowed.discard(port)
 
+    def allowed_ports(self) -> frozenset[int]:
+        """Ports whose IN/OUT execute natively (never exit).
+
+        Oracle introspection: with I/O protection enabled, host-owned
+        ports must never appear here.
+        """
+        return frozenset(self._allowed - self._trapped)
+
     def should_exit(self, port: int) -> bool:
         self._check(port)
         if port in self._trapped:

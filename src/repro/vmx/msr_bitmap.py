@@ -66,6 +66,19 @@ class MsrBitmap:
             self._write_trapped.add(index)
             self._write_passthrough.discard(index)
 
+    def passthrough_reads(self) -> frozenset[int]:
+        """MSR indices whose reads execute natively (never exit)."""
+        return frozenset(self._read_passthrough - self._read_trapped)
+
+    def passthrough_writes(self) -> frozenset[int]:
+        """MSR indices whose writes execute natively (never exit).
+
+        Oracle introspection: with MSR protection enabled, no sensitive
+        MSR may ever appear here — a write that does not exit is a write
+        the hypervisor cannot veto.
+        """
+        return frozenset(self._write_passthrough - self._write_trapped)
+
     def should_exit(self, index: int, *, is_write: bool) -> bool:
         """Does this guest MSR access take a VM exit?"""
         trapped = self._write_trapped if is_write else self._read_trapped

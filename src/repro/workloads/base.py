@@ -106,9 +106,23 @@ class Workload(abc.ABC):
         """The machine profile of one run."""
 
     @abc.abstractmethod
-    def reference_kernel(self, rng: np.random.Generator) -> dict:
+    def reference_kernel(self, rng: "np.random.Generator | None" = None) -> dict:
         """Run a (scaled-down) real implementation of the benchmark's
-        numerical core; returns named, checkable results."""
+        numerical core; returns named, checkable results.
+
+        With ``rng=None`` the kernel draws from the repo-wide named
+        stream ``workloads.<name>`` (see :mod:`repro.fuzz.rng`), so a
+        bare ``Stream().reference_kernel()`` is reproducible and every
+        failure report can quote one seed."""
+
+    def kernel_rng(self, rng: "np.random.Generator | None") -> np.random.Generator:
+        """Resolve the kernel's RNG: the caller's, or this workload's
+        named stream under the repo default seed."""
+        if rng is not None:
+            return rng
+        from repro.fuzz.rng import named_stream
+
+        return named_stream(f"workloads.{self.name}").numpy_generator()
 
     def figure_of_merit(self, elapsed_seconds: float, ncores: int) -> float:
         """Convert elapsed time into the workload's reporting unit."""

@@ -63,9 +63,10 @@ class Hpcg(Workload):
     def figure_of_merit(self, elapsed_seconds: float, ncores: int) -> float:
         return _TOTAL_FLOPS / elapsed_seconds / 1e9
 
-    def reference_kernel(self, rng: np.random.Generator) -> dict:
+    def reference_kernel(self, rng: "np.random.Generator | None" = None) -> dict:
         """A real CG solve of the 7-point Poisson operator on a small
         grid, matrix-free (the operator applied as a stencil)."""
+        rng = self.kernel_rng(rng)
         n = 20  # 20^3 grid
 
         def poisson_apply(x: np.ndarray) -> np.ndarray:

@@ -137,7 +137,8 @@ class Lammps(Workload):
 
     # -- the real MD engine ---------------------------------------------
 
-    def reference_kernel(self, rng: np.random.Generator) -> dict:
+    def reference_kernel(self, rng: "np.random.Generator | None" = None) -> dict:
+        rng = self.kernel_rng(rng)
         n = 125
         steps = 60
         dt = 0.004

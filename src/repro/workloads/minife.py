@@ -65,9 +65,10 @@ class MiniFE(Workload):
     def figure_of_merit(self, elapsed_seconds: float, ncores: int) -> float:
         return _FLOPS / elapsed_seconds / 1e6
 
-    def reference_kernel(self, rng: np.random.Generator) -> dict:
+    def reference_kernel(self, rng: "np.random.Generator | None" = None) -> dict:
         """Real mini FE pipeline: assemble a hex-element Laplacian on a
         small structured mesh, then CG-solve it."""
+        rng = self.kernel_rng(rng)
         ne = 5  # elements per dimension → 6^3 nodes
         nn = ne + 1
         num_nodes = nn**3

@@ -81,10 +81,11 @@ class RandomAccess(Workload):
     def figure_of_merit(self, elapsed_seconds: float, ncores: int) -> float:
         return UPDATES / elapsed_seconds / 1e9
 
-    def reference_kernel(self, rng: np.random.Generator) -> dict:
+    def reference_kernel(self, rng: "np.random.Generator | None" = None) -> dict:
         """Real GUPS at reduced scale, with the standard self-check:
         applying the same update stream twice returns the table to its
         initial state (XOR is an involution)."""
+        rng = self.kernel_rng(rng)
         bits = 16
         words = 1 << bits
         table = np.arange(words, dtype=np.uint64)

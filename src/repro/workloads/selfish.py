@@ -77,9 +77,10 @@ class SelfishDetour(Workload):
         sampler = DetourSampler()
         return sampler.run(self.duration_cycles, self.noise_sources(config_label))
 
-    def reference_kernel(self, rng: np.random.Generator) -> dict:
+    def reference_kernel(self, rng: "np.random.Generator | None" = None) -> dict:
         """Run the real sampling loop against a synthetic noise mix and
         verify it recovers the planted events."""
+        rng = self.kernel_rng(rng)
         sources = [
             NoiseSource("tick", period_cycles=1_000_000, cost_cycles=5_000),
             NoiseSource("daemon", period_cycles=7_777_777, cost_cycles=40_000),

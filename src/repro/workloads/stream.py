@@ -57,8 +57,9 @@ class Stream(Workload):
         triad_fraction = triad_bytes / self.total_bytes
         return (triad_bytes / (elapsed_seconds * triad_fraction)) / 1e6
 
-    def reference_kernel(self, rng: np.random.Generator) -> dict:
+    def reference_kernel(self, rng: "np.random.Generator | None" = None) -> dict:
         """The four STREAM kernels, for real, at reduced scale."""
+        rng = self.kernel_rng(rng)
         n = 1 << 20
         a0 = rng.random(n)
         a = a0.copy()

@@ -1,0 +1,77 @@
+"""Corpus round-trip and the committed regression corpus.
+
+A corpus entry pins a run's complete observable behaviour — per-step
+outcomes, clocks, counters, and the transcript fingerprint.  Replaying
+it green means the machine still behaves byte-for-byte as it did when
+the entry was recorded; any behavioural drift in the simulator shows up
+here as a diff naming the first divergent step."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzEngine, FuzzRun, load_corpus, load_run, replay_run, save_run
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        run = FuzzEngine(seed=8, schedule="churn").run(40)
+        clone = FuzzRun.from_json(run.to_json())
+        assert clone.to_dict() == run.to_dict()
+        assert clone.seed == run.seed
+        assert clone.schedule == run.schedule
+        assert clone.fingerprint == run.fingerprint
+        assert [s.describe() for s in clone.steps] == [
+            s.describe() for s in run.steps
+        ]
+
+    def test_record_serialize_replay(self, tmp_path):
+        run = FuzzEngine(seed=9, schedule="hostile").run(40)
+        path = save_run(run, tmp_path)
+        assert path.parent == tmp_path
+        loaded = load_run(path)
+        result = replay_run(loaded)
+        assert result.matches, result.describe()
+
+    def test_save_names_encode_provenance(self, tmp_path):
+        run = FuzzEngine(seed=10, schedule="baseline").run(20)
+        path = save_run(run, tmp_path)
+        assert "baseline" in path.name
+        assert "s10" in path.name
+        assert run.fingerprint[:12] in path.name
+        found = load_corpus(tmp_path)
+        assert len(found) == 1
+        assert found[0][0] == path
+
+
+class TestCommittedCorpus:
+    def test_corpus_is_populated(self):
+        assert len(CORPUS_FILES) >= 5
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_entry_replays_byte_for_byte(self, path):
+        run = load_run(path)
+        result = replay_run(run)
+        assert result.matches, (
+            f"{path.name} diverged — the simulator's behaviour changed:\n"
+            + result.describe()
+        )
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_entry_contains_contained_faults(self, path):
+        """Every committed entry exercises containment: recorded wild
+        accesses end in ``fault:``/``refused:`` outcomes, never in
+        uncontained success or unexpected errors."""
+        run = load_run(path)
+        outcomes = [s.outcome for s in run.steps]
+        assert not any(o.startswith("error:") for o in outcomes)
+        assert not any("uncontained" in o for o in outcomes)

@@ -1,0 +1,60 @@
+"""Named RNG streams: the single entropy source for every randomized
+test and fuzz run in the repo."""
+
+from __future__ import annotations
+
+from repro.fuzz.rng import DEFAULT_SEED, FuzzRng, derive_seed, named_stream
+
+
+class TestDerivation:
+    def test_stable_across_calls(self):
+        assert derive_seed(7, "a/b") == derive_seed(7, "a/b")
+
+    def test_name_and_seed_both_matter(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_pinned_value(self):
+        """The derivation is part of the corpus format: changing it
+        invalidates every committed reproducer, so it is pinned here."""
+        assert derive_seed(DEFAULT_SEED, "fuzz/baseline") == 15307997243066474325
+
+
+class TestFuzzRng:
+    def test_same_name_same_sequence(self):
+        a = named_stream("t", 5)
+        b = named_stream("t", 5)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_names_diverge(self):
+        a = named_stream("t1", 5)
+        b = named_stream("t2", 5)
+        assert [a.random() for _ in range(20)] != [b.random() for _ in range(20)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent = named_stream("p", 5)
+        child1 = parent.fork("c")
+        # Draining the parent must not change what an identical fork
+        # yields — forks derive from (root_seed, name), not stream state.
+        parent.random()
+        child2 = named_stream("p", 5).fork("c")
+        assert [child1.random() for _ in range(10)] == [
+            child2.random() for _ in range(10)
+        ]
+
+    def test_describe_names_seed_and_stream(self):
+        rng = named_stream("stress", 42)
+        text = rng.describe()
+        assert "stress" in text
+        assert "42" in text
+
+    def test_numpy_generator_deterministic(self):
+        g1 = named_stream("np", 3).numpy_generator()
+        g2 = named_stream("np", 3).numpy_generator()
+        assert list(g1.integers(0, 1 << 30, 16)) == list(g2.integers(0, 1 << 30, 16))
+
+    def test_is_a_random_random(self):
+        import random
+
+        assert isinstance(named_stream("x"), random.Random)
+        assert isinstance(named_stream("x"), FuzzRng)

@@ -1,0 +1,79 @@
+"""The ddmin shrinker: a failing sequence minimizes to a short
+reproducer that fails the same way.
+
+The correct simulator never violates the standing oracles, so these
+tests plant a *synthetic* oracle ("at most one XEMEM segment may
+exist") to manufacture a failure with a known cause, then check the
+shrinker isolates the few actions that matter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzEngine, OracleViolation, replay_run, shrink_run
+
+SEED = 21
+SCHEDULE = "churn"
+
+
+def make_engine(seed: int = SEED) -> FuzzEngine:
+    engine = FuzzEngine(seed=seed, schedule=SCHEDULE)
+
+    def too_many_segments(env):
+        segs = env.mcp.xemem.names.segments()
+        if len(segs) >= 2:
+            raise OracleViolation("two-segments", f"{len(segs)} segments live")
+
+    engine.oracles.add("two-segments", too_many_segments)
+    return engine
+
+
+@pytest.fixture
+def failing_run():
+    run = make_engine().run(120)
+    assert run.failure is not None
+    assert run.failure["kind"] == "oracle"
+    assert run.failure["detail"].startswith("[two-segments]")
+    return run
+
+
+def execute(actions):
+    return make_engine().replay(actions)
+
+
+class TestShrink:
+    def test_minimizes_preserving_failure(self, failing_run):
+        result = shrink_run(failing_run, execute=execute)
+        assert len(result.minimized.steps) < len(failing_run.steps)
+        assert result.minimized.failure is not None
+        assert result.minimized.failure["kind"] == "oracle"
+        assert result.minimized.failure["detail"].startswith("[two-segments]")
+        # The minimal reproducer for "two segments exist" needs at least
+        # a launch and two exports.
+        assert len(result.minimized.steps) >= 3
+        assert result.executions <= 200
+        assert "shrunk" in result.describe()
+
+    def test_minimized_run_replays(self, failing_run):
+        result = shrink_run(failing_run, execute=execute)
+        # The minimized reproducer is itself a valid corpus entry: a
+        # fresh engine (with the same synthetic oracle) reproduces the
+        # failure from its action list alone.
+        again = execute(result.minimized.actions)
+        assert again.failure == result.minimized.failure
+        assert again.fingerprint == result.minimized.fingerprint
+
+    def test_refuses_clean_run(self):
+        clean = FuzzEngine(seed=1, schedule="baseline").run(10)
+        assert clean.failure is None
+        with pytest.raises(ValueError, match="clean"):
+            shrink_run(clean)
+
+    def test_default_execute_without_custom_oracle(self):
+        """Without the synthetic oracle the same action list is clean —
+        replaying through the *default* execute path (fresh engine, no
+        extra oracles) must not reproduce the synthetic failure, which
+        is exactly why shrink_run takes an injectable execute."""
+        run = make_engine().run(120)
+        vanilla = FuzzEngine(seed=SEED, schedule=SCHEDULE).replay(run.actions)
+        assert vanilla.failure is None

@@ -258,9 +258,10 @@ class TestPhysicalMemory:
     def test_fragmentation_churn(self):
         """Thousands of allocate/release cycles with mixed sizes must
         neither leak nor fragment the free pool irrecoverably."""
-        import random
+        from repro.fuzz.rng import named_stream
 
-        rng = random.Random(3)
+        rng = named_stream("memory-churn", 3)
+        print(f"churn rng: {rng.describe()}")
         mem = PhysicalMemory(256 * PAGE_SIZE)
         live: list[tuple[MemoryRegion, str]] = []
         for step in range(2000):

@@ -1,0 +1,257 @@
+"""Replay dependent-rewiring and the scrub refusal paths that the rest
+of tests/recovery/ does not reach.
+
+Rewiring: a relaunch mints a fresh enclave id, so every checkpointed
+resource that *names* the dead incarnation — vector-grant destinations,
+SERVICE-marked senders, dependent notifications — must be rewritten to
+the successor's id during REPLAYING.  Scrub refusals: each individual
+residue check (XEMEM ownership, lingering attachments, open channels,
+controller contexts, unreturned cores) must independently veto the
+relaunch and park the service with the fault's exact key preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import EnclaveFaultError, FaultKey
+from repro.core.features import CovirtConfig
+from repro.harness.env import Layout
+from repro.hw.memory import PAGE_SIZE
+from repro.recovery.policy import RestartAlways
+from repro.recovery.scrub import ScrubError
+from repro.recovery.supervisor import RecoveryPhase
+from repro.xemem.segment import Attachment, HOST_ENCLAVE_ID, Segment
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+#: The key every wild read in this file produces (addresses collapse to
+#: ``<addr>`` in the detail class, so it is stable across runs).
+WILD_READ_CLASS = "EPT violation: read of unmapped gpa <addr>"
+
+
+def wild_read_key(enclave_id: int) -> FaultKey:
+    return FaultKey("ept_violation", enclave_id, WILD_READ_CLASS)
+
+
+def crash(enclave) -> None:
+    bsp = enclave.assignment.core_ids[0]
+    try:
+        enclave.port.read(bsp, 50 * GiB, 8)
+    except EnclaveFaultError:
+        pass
+
+
+@pytest.fixture
+def supervised(env, small_layout):
+    """A supervised service with auto-recovery ON (crash → recover)."""
+    return env.launch_supervised(
+        small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+    )
+
+
+@pytest.fixture
+def parked(env, small_layout):
+    """A faulted service parked in TERMINATED with auto-recovery off, so
+    tests can plant residue before manual recovery."""
+    env.recovery.auto = False
+    svc = env.launch_supervised(
+        small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+    )
+    crash(svc.enclave)
+    assert svc.phase is RecoveryPhase.TERMINATED
+    return svc
+
+
+class TestGrantRewiring:
+    def test_service_marked_grant_rewired_to_successor(self, env, supervised):
+        svc = supervised
+        old_id = svc.enclave_id
+        bsp = svc.enclave.assignment.core_ids[0]
+        # A self-IPI doorbell: both the destination and the sender name
+        # the current incarnation, so the checkpoint stores them as
+        # SERVICE markers and replay must resolve both to the new id.
+        env.mcp.vectors.allocate(
+            dest_core=bsp,
+            dest_enclave_id=old_id,
+            allowed_senders={old_id},
+            purpose="doorbell:rewire-test",
+        )
+        env.recovery.checkpoint_now("svc")
+        crash(svc.enclave)
+        assert svc.phase is RecoveryPhase.RUNNING
+        new_id = svc.enclave_id
+        assert new_id != old_id
+        assert svc.history == [wild_read_key(old_id)]
+        assert "doorbell:rewire-test" in svc.last_replay.grants_restored
+        # Nothing still names the corpse; the restored grant names the
+        # successor on both sides.
+        assert not env.mcp.vectors.grants_involving(old_id)
+        restored = [
+            g
+            for g in env.mcp.vectors.grants_involving(new_id)
+            if g.purpose == "doorbell:rewire-test"
+        ]
+        assert len(restored) == 1
+        assert restored[0].dest_enclave_id == new_id
+        assert restored[0].allowed_senders == {new_id}
+
+    def test_foreign_sender_preserved_dest_rewired(self, env, supervised):
+        svc = supervised
+        old_id = svc.enclave_id
+        peer = env.launch(
+            Layout("peer", {0: 1}, {0: 512 * MiB}),
+            CovirtConfig.full(),
+            name="peer",
+        )
+        bsp = svc.enclave.assignment.core_ids[0]
+        env.mcp.vectors.allocate(
+            dest_core=bsp,
+            dest_enclave_id=old_id,
+            allowed_senders={peer.enclave_id},
+            purpose="peer-signal",
+        )
+        env.recovery.checkpoint_now("svc")
+        crash(svc.enclave)
+        new_id = svc.enclave_id
+        restored = [
+            g
+            for g in env.mcp.vectors.grants_involving(new_id)
+            if g.purpose == "peer-signal"
+        ]
+        assert len(restored) == 1
+        # The foreign sender is a real id, not a SERVICE marker: it must
+        # survive verbatim while the destination moves to the successor.
+        assert restored[0].dest_enclave_id == new_id
+        assert restored[0].allowed_senders == {peer.enclave_id}
+        assert old_id not in restored[0].allowed_senders
+
+
+class TestDependentRewiring:
+    def test_attachers_restored_and_renotified(self, env, supervised):
+        svc = supervised
+        old_id = svc.enclave_id
+        peer = env.launch(
+            Layout("peer", {0: 1}, {0: 512 * MiB}),
+            CovirtConfig.full(),
+            name="peer",
+        )
+        start = svc.enclave.assignment.regions[0].start
+        seg = env.mcp.xemem.make(old_id, "svc-buf", start, 4 * PAGE_SIZE)
+        env.mcp.xemem.attach(peer.enclave_id, seg.segid)
+        env.recovery.checkpoint_now("svc")
+        crash(svc.enclave)
+        assert svc.phase is RecoveryPhase.RUNNING
+        new_id = svc.enclave_id
+        report = svc.last_replay
+        assert "svc-buf" in report.segments_reexported
+        assert ("svc-buf", peer.enclave_id) in report.attachments_restored
+        # The teardown told the peer its attachment died; replay must
+        # tell the same dependent the service is back.  (The host is
+        # notified too, for the severed command channel.)
+        assert peer.enclave_id in report.dependents_notified
+        reborn = env.mcp.xemem.names.lookup("svc-buf")
+        assert reborn.owner_enclave_id == new_id
+        assert peer.enclave_id in reborn.attachments
+
+
+class TestScrubRefusalPaths:
+    """One test per residue check test_scrub.py leaves unexercised.
+
+    Each plants exactly one kind of leak on a TERMINATED corpse and
+    asserts (a) the scrubber names it, (b) the service parks in
+    SCRUB_FAILED, and (c) the fault's exact key is still pending — a
+    refused recovery must not launder the fault away.
+    """
+
+    def _assert_parked(self, svc, old_id: int) -> None:
+        assert svc.phase is RecoveryPhase.SCRUB_FAILED
+        assert svc.enclave_id == old_id
+        assert svc.incarnation == 1
+        assert svc.pending_key == wild_read_key(old_id)
+
+    def test_leaked_owned_segment(self, env, parked):
+        svc = parked
+        old_id = svc.enclave_id
+        names = env.mcp.xemem.names
+        leak = Segment(
+            segid=names.allocate_segid(),
+            name="leak-seg",
+            owner_enclave_id=old_id,
+            start=0,
+            size=PAGE_SIZE,
+        )
+        names.register(leak)
+        with pytest.raises(ScrubError, match="XEMEM segments still registered"):
+            env.recovery.recover("svc")
+        self._assert_parked(svc, old_id)
+
+    def test_lingering_attachment(self, env, parked):
+        svc = parked
+        old_id = svc.enclave_id
+        names = env.mcp.xemem.names
+        host_seg = Segment(
+            segid=names.allocate_segid(),
+            name="host-seg",
+            owner_enclave_id=HOST_ENCLAVE_ID,
+            start=0,
+            size=PAGE_SIZE,
+        )
+        host_seg.attachments[old_id] = Attachment(
+            host_seg.segid, old_id, host_seg.start
+        )
+        names.register(host_seg)
+        with pytest.raises(ScrubError, match="still attached to segments"):
+            env.recovery.recover("svc")
+        self._assert_parked(svc, old_id)
+
+    def test_open_command_channel(self, env, small_layout):
+        env.recovery.auto = False
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+        )
+        old_id = svc.enclave_id
+        channel = env.mcp.channels[old_id]
+        crash(svc.enclave)
+        assert old_id not in env.mcp.channels  # teardown closed it
+        env.mcp.channels[old_id] = channel  # simulate a close that leaked
+        with pytest.raises(ScrubError, match="command channel"):
+            env.recovery.recover("svc")
+        self._assert_parked(svc, old_id)
+        del env.mcp.channels[old_id]
+
+    def test_stale_controller_context(self, env, small_layout):
+        env.recovery.auto = False
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+        )
+        old_id = svc.enclave_id
+        ctx = env.controller.contexts[old_id]
+        crash(svc.enclave)
+        assert old_id not in env.controller.contexts  # teardown popped it
+        env.controller.contexts[old_id] = ctx  # simulate a leaked context
+        with pytest.raises(ScrubError, match="controller context"):
+            env.recovery.recover("svc")
+        self._assert_parked(svc, old_id)
+        del env.controller.contexts[old_id]
+
+    def test_core_never_returned_to_host(self, env, small_layout):
+        # Reclaim empties the corpse's assignment, so the core check is
+        # only meaningful with the *pre-crash* core list — which is why
+        # it must be captured before the fault and passed explicitly.
+        env.recovery.auto = False
+        svc = env.launch_supervised(
+            small_layout, CovirtConfig.full(), RestartAlways(), name="svc"
+        )
+        old_id = svc.enclave_id
+        old_cores = tuple(svc.enclave.assignment.core_ids)
+        stolen = old_cores[-1]
+        crash(svc.enclave)
+        assert stolen in env.host.online_cores  # honest teardown returned it
+        env.host.online_cores.discard(stolen)
+        with pytest.raises(ScrubError, match="never returned to the host"):
+            env.recovery.scrubber.scrub_or_raise(old_id, old_cores)
+        report = env.recovery.scrubber.scrub(old_id, old_cores)
+        assert [v for v in report.violations if f"[{stolen}]" in v]
+        env.host.online_cores.add(stolen)

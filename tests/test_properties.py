@@ -13,6 +13,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.core.commands import CommandQueue, CommandType
+from repro.fuzz.rng import named_stream
 from repro.core.ipi import IpiWhitelist
 from repro.hw.apic import IpiMessage
 from repro.hw.memory import PAGE_SIZE, IntervalMap, PhysicalMemory
@@ -356,3 +357,193 @@ class TestWhitelistProperties:
             for vector in (48, 90, 120):
                 permitted, _ = wl.permits(IpiMessage(0, core, vector))
                 assert permitted == ((core, vector) in model)
+
+
+# -- seeded machine-level properties (stdlib-only) -------------------------
+#
+# The hypothesis suites above exercise data structures in isolation.
+# The classes below drive the *assembled machine* — real launches, vector
+# grants, revocations, and wild-access faults — from a named stream
+# (repro.fuzz.rng), so they need no third-party shrinker and a failure
+# report quotes one seed that replays the exact interleaving.
+
+
+def _seeded_env_ops():
+    """Deferred imports so the hypothesis-only suites above stay usable
+    even if the harness layer is being refactored."""
+    from repro.core.faults import EnclaveFaultError
+    from repro.core.features import CovirtConfig
+    from repro.harness.env import CovirtEnvironment, Layout
+    from repro.pisces.kmod import PiscesError
+    from repro.pisces.resources import enclave_owner
+
+    return EnclaveFaultError, CovirtConfig, CovirtEnvironment, Layout, PiscesError, enclave_owner
+
+
+class TestSeededOwnershipDisjointness:
+    """Page-ownership disjointness under arbitrary assign/revoke/fault
+    interleavings on a live machine."""
+
+    TRIALS = 3
+    STEPS = 35
+    MiB = 1 << 20
+    GiB = 1 << 30
+
+    def _audit(self, env, dead_ids, enclave_owner):
+        mem = env.machine.memory
+        mem.check_invariants()
+        intervals = list(mem._owners.intervals())
+        # Conservation: the ownership map partitions all of physical
+        # memory — no page unaccounted, no page counted twice.
+        assert sum(end - start for start, end, _ in intervals) == mem.size
+        for (s1, e1, _), (s2, _e2, _) in zip(intervals, intervals[1:]):
+            assert e1 <= s2, f"ownership intervals overlap at {s2:#x}"
+        # Every running enclave's regions are disjoint from every
+        # other's, and each is attributed to exactly its owner.
+        from repro.pisces.enclave import EnclaveState
+
+        spans = []
+        for eid, enclave in env.mcp.kmod.enclaves.items():
+            if enclave.state is not EnclaveState.RUNNING:
+                continue
+            for region in enclave.assignment.regions:
+                spans.append((region.start, region.start + region.size, eid))
+                assert mem._owners.get(region.start) == enclave_owner(eid)
+        spans.sort()
+        for (s1, e1, id1), (s2, _e2, id2) in zip(spans, spans[1:]):
+            assert e1 <= s2, f"enclaves {id1}/{id2} share pages at {s2:#x}"
+        # Revoked/faulted enclaves own nothing anymore.
+        for eid in dead_ids:
+            assert not mem.owned_by(enclave_owner(eid))
+
+    def test_disjoint_under_assign_revoke_fault(self):
+        (EnclaveFaultError, CovirtConfig, CovirtEnvironment, Layout,
+         PiscesError, enclave_owner) = _seeded_env_ops()
+        from repro.hw.memory import OwnershipError
+
+        for trial in range(self.TRIALS):
+            rng = named_stream(f"properties/ownership/{trial}")
+            print(f"ownership trial rng: {rng.describe()}")
+            env = CovirtEnvironment()
+            live, dead_ids = [], set()
+            for _ in range(self.STEPS):
+                op = rng.choice(["launch", "launch", "revoke", "fault"])
+                if op == "launch":
+                    zone = rng.randint(0, 1)
+                    layout = Layout(
+                        "p", {zone: 1},
+                        {zone: rng.choice([256 * self.MiB, self.GiB])},
+                    )
+                    config = rng.choice(
+                        [CovirtConfig.memory_only(), CovirtConfig.full()]
+                    )
+                    try:
+                        live.append(env.launch(layout, config))
+                    except (PiscesError, OwnershipError):
+                        pass  # machine full — a fine interleaving too
+                elif op == "revoke" and live:
+                    enclave = live.pop(rng.randrange(len(live)))
+                    env.mcp.shutdown_enclave(enclave.enclave_id)
+                    dead_ids.add(enclave.enclave_id)
+                elif op == "fault" and live:
+                    enclave = live.pop(rng.randrange(len(live)))
+                    bsp = enclave.assignment.core_ids[0]
+                    try:
+                        enclave.port.read(bsp, 50 * self.GiB, 8)
+                    except EnclaveFaultError:
+                        pass
+                    dead_ids.add(enclave.enclave_id)
+                self._audit(env, dead_ids, enclave_owner)
+
+
+class TestSeededWhitelistClosure:
+    """Vector-whitelist closure under arbitrary grant/revoke/fault
+    interleavings: every whitelist entry is backed by a registry grant
+    naming that enclave as sender, and every grant is reflected in the
+    sender's whitelist — in both directions, at every step."""
+
+    TRIALS = 3
+    STEPS = 30
+    MiB = 1 << 20
+    GiB = 1 << 30
+
+    def _audit(self, env, dead_ids):
+        from repro.pisces.enclave import EnclaveState
+
+        vectors = env.mcp.vectors
+        for eid, ctx in env.controller.contexts.items():
+            if ctx.enclave.state is not EnclaveState.RUNNING:
+                continue
+            if ctx.whitelist is None:
+                continue
+            allowed = ctx.whitelist.allowed_pairs()
+            for dest_core, vector in allowed:
+                assert vectors.may_send(eid, dest_core, vector), (
+                    f"enclave {eid} may IPI core {dest_core} vec {vector} "
+                    "with no backing grant"
+                )
+            for grant in vectors.active_grants():
+                if eid in grant.allowed_senders:
+                    assert (grant.dest_core, grant.vector) in allowed, (
+                        f"grant {grant.purpose!r} names enclave {eid} but "
+                        "its whitelist lost the pair"
+                    )
+        for eid in dead_ids:
+            assert not vectors.grants_involving(eid), (
+                f"dead enclave {eid} still named by a vector grant"
+            )
+
+    def test_closure_under_grant_revoke_fault(self):
+        (EnclaveFaultError, CovirtConfig, CovirtEnvironment, Layout,
+         PiscesError, _enclave_owner) = _seeded_env_ops()
+        from repro.hobbes.registry import RegistryError
+
+        for trial in range(self.TRIALS):
+            rng = named_stream(f"properties/whitelist/{trial}")
+            print(f"whitelist trial rng: {rng.describe()}")
+            env = CovirtEnvironment()
+            live = [
+                env.launch(
+                    Layout("w", {z: 1}, {z: 512 * self.MiB}),
+                    CovirtConfig.full(),
+                    name=f"wl{z}",
+                )
+                for z in (0, 1)
+            ]
+            granted, dead_ids = [], set()
+            for _ in range(self.STEPS):
+                op = rng.choice(["grant", "grant", "revoke", "fault"])
+                if op == "grant" and live:
+                    dest = rng.choice(live)
+                    senders = {
+                        e.enclave_id
+                        for e in live
+                        if rng.random() < 0.5
+                    } or {dest.enclave_id}
+                    try:
+                        grant = env.mcp.vectors.allocate(
+                            dest_core=rng.choice(dest.assignment.core_ids),
+                            dest_enclave_id=dest.enclave_id,
+                            allowed_senders=senders,
+                            purpose=f"prop:{len(granted)}",
+                        )
+                        granted.append(grant)
+                    except RegistryError:
+                        pass  # core's vector space exhausted
+                elif op == "revoke" and granted:
+                    grant = granted.pop(rng.randrange(len(granted)))
+                    # A fault may have swept the grant away already.
+                    still = env.mcp.vectors.grant_for(
+                        grant.dest_core, grant.vector
+                    )
+                    if still is grant:
+                        env.mcp.vectors.revoke(grant)
+                elif op == "fault" and len(live) > 1:
+                    enclave = live.pop(rng.randrange(len(live)))
+                    bsp = enclave.assignment.core_ids[0]
+                    try:
+                        enclave.port.read(bsp, 50 * self.GiB, 8)
+                    except EnclaveFaultError:
+                        pass
+                    dead_ids.add(enclave.enclave_id)
+                self._audit(env, dead_ids)

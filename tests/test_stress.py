@@ -15,11 +15,10 @@ set of global invariants is checked after every step:
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.core.faults import EnclaveFaultError
+from repro.fuzz.rng import named_stream
 from repro.core.features import CovirtConfig
 from repro.harness.env import CovirtEnvironment, Layout
 from repro.linuxhost.host import LINUX_OWNER
@@ -39,7 +38,9 @@ CONFIG_CHOICES = [
 
 class StressDriver:
     def __init__(self, seed: int) -> None:
-        self.rng = random.Random(seed)
+        # Named stream so the printed seed alone reproduces a failure.
+        self.rng = named_stream("stress", seed)
+        print(f"StressDriver rng: {self.rng.describe()}")
         self.env = CovirtEnvironment()
         self.live: list[Enclave] = []
         self.segments: list[tuple[int, int]] = []  # (segid, owner_id)

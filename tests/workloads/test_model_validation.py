@@ -7,11 +7,10 @@ TLB, real EPT walks) and check the measured miss rate against what the
 analytic model predicts for the same footprint and pattern.
 """
 
-import random
-
 import pytest
 
 from repro.core.features import CovirtConfig, Feature
+from repro.fuzz.rng import named_stream
 from repro.harness.env import CovirtEnvironment, Layout
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.tlb import AccessPattern, TlbStats, estimate_miss_rate
@@ -35,7 +34,8 @@ def drive(env, enclave, footprint_bytes: int, accesses: int, pattern: str):
     bsp = enclave.assignment.core_ids[0]
     core = env.machine.core(bsp)
     base = enclave.assignment.regions[0].start
-    rng = random.Random(7)
+    rng = named_stream("model-validation", 7)
+    print(f"drive rng: {rng.describe()}")
     pages = footprint_bytes // PAGE_SIZE
     # Warm-up pass so compulsory misses don't skew the steady state.
     for page in range(pages):
