@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""The BENCH_*.json pipeline.
+
+Runs each paper scenario on its own instrumented
+:class:`~repro.harness.env.CovirtEnvironment`, collects the machine's
+metrics registry (``env.machine.obs.metrics``), and writes one
+schema-versioned ``BENCH_<name>.json`` per scenario at the repo root.
+
+Every artifact carries the machine-wide exit counts by reason plus at
+least one populated latency histogram (the probe's ``covirt.exit_cycles``
+at minimum), and validates against
+:func:`repro.obs.schema.validate_bench` — the same validator
+``python -m repro bench-validate`` and CI's ``bench-smoke`` job run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/runner.py [--quick] [--only fig3 ...]
+
+``--quick`` trims sweeps (fewer configs / layouts / sizes) for the CI
+smoke job; the artifact schema is identical either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.features import CovirtConfig, EVALUATION_CONFIGS
+from repro.fuzz.rng import DEFAULT_SEED
+from repro.harness.env import (
+    CovirtEnvironment,
+    EVALUATION_LAYOUTS,
+    MICROBENCH_LAYOUT,
+    Layout,
+)
+from repro.hw.clock import CYCLES_PER_US
+from repro.hw.memory import page_align_up
+from repro.obs import metric_names
+from repro.obs.scenario import WILD_ADDR, protection_probe
+from repro.obs.schema import (
+    BENCH_SCHEMA_NAME,
+    BENCH_SCHEMA_VERSION,
+    validate_bench,
+)
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.hpcg import Hpcg
+from repro.workloads.lammps import LAMMPS_PROBLEMS, Lammps
+from repro.workloads.minife import MiniFE
+from repro.workloads.randomaccess import RandomAccess
+from repro.workloads.selfish import SelfishDetour
+from repro.workloads.stream import Stream
+
+MiB = 1 << 20
+GiB = 1 << 30
+
+#: Attach-latency histogram recorded by the fig4 scenario (cycles).
+ATTACH_CYCLES = "bench.attach_cycles"
+
+#: Small fully-protected enclave every scenario probes once, so each
+#: artifact's ``exits_by_reason`` covers the whole protection surface.
+PROBE_LAYOUT = Layout("probe-1c/1n", {0: 1}, {0: 256 * MiB})
+
+
+def _probe(env: CovirtEnvironment) -> None:
+    enclave = env.launch(PROBE_LAYOUT, CovirtConfig.full(), name="probe")
+    protection_probe(env, enclave)
+    env.teardown(enclave)
+
+
+def _row(res: WorkloadResult) -> dict[str, Any]:
+    return {
+        "workload": res.workload,
+        "config": res.config_label,
+        "layout": res.layout_label,
+        "ncores": res.ncores,
+        "elapsed_cycles": res.elapsed_cycles,
+        "fom": round(res.fom, 4),
+        "fom_name": res.fom_name,
+        "higher_is_better": res.higher_is_better,
+    }
+
+
+def _configs(quick: bool) -> list[tuple[str, CovirtConfig | None]]:
+    if quick:
+        return [EVALUATION_CONFIGS[0], EVALUATION_CONFIGS[3]]
+    return list(EVALUATION_CONFIGS)
+
+
+def _sweep(
+    env: CovirtEnvironment,
+    workload_factory: Callable[[], Workload],
+    layout: Layout,
+    quick: bool,
+) -> list[dict[str, Any]]:
+    """One workload x the evaluation configs, on this env's machine."""
+    rows = []
+    for label, config in _configs(quick):
+        workload = workload_factory()
+        enclave = env.launch(layout, config, name=f"{workload.name}-{label}")
+        rows.append(_row(env.engine.run(workload, enclave)))
+        env.teardown(enclave)
+    return rows
+
+
+# -- scenarios --------------------------------------------------------------
+
+
+def bench_fig3(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Fig. 3: Selfish-Detour noise profile across configurations."""
+    duration = 0.5 if quick else 10.0
+    rows = _sweep(env, lambda: SelfishDetour(duration), MICROBENCH_LAYOUT, quick)
+    workload = SelfishDetour(duration)
+    for row in rows:
+        trace = workload.sample(row["config"])
+        row["detours"] = trace.count
+        row["max_detour_us"] = round(trace.max_detour_us(), 3)
+        row["noise_fraction"] = trace.noise_fraction
+    _probe(env)
+    return rows
+
+
+def bench_fig4(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Fig. 4: XEMEM attach latency vs region size, Covirt on/off."""
+    sizes_mb = [1, 16, 256] if quick else [1, 4, 16, 64, 256, 1024]
+    attach_hist = env.machine.obs.metrics.histogram(
+        ATTACH_CYCLES, "XEMEM attach latency (cycles)"
+    )
+    rows = []
+    for mode, config in [
+        ("covirt-off", None),
+        ("covirt-on", CovirtConfig.memory_only()),
+    ]:
+        owner = env.launch(
+            Layout("owner", {0: 1}, {0: 4 * GiB}), config, name=f"owner-{mode}"
+        )
+        attacher = env.launch(
+            Layout("attacher", {1: 1}, {1: 2 * GiB}), config,
+            name=f"attacher-{mode}",
+        )
+        task = owner.kernel.spawn(
+            "exporter", mem_bytes=page_align_up(1100 * MiB)
+        )
+        base = task.slices[0].start
+        attach_core = attacher.assignment.core_ids[0]
+        core = env.machine.core(attach_core)
+        for i, size_mb in enumerate(sizes_mb):
+            seg = env.mcp.xemem.make(
+                owner.enclave_id, f"{mode}-region-{i}", base, size_mb * MiB
+            )
+            t0 = core.read_tsc()
+            env.mcp.xemem.attach(
+                attacher.enclave_id, seg.segid, core_hint=attach_core
+            )
+            cycles = core.read_tsc() - t0
+            attach_hist.observe(cycles, mode=mode)
+            env.mcp.xemem.detach(
+                attacher.enclave_id, seg.segid, core_hint=attach_core
+            )
+            env.mcp.xemem.remove(seg.segid)
+            rows.append(
+                {
+                    "region_mb": size_mb,
+                    "mode": mode,
+                    "attach_us": round(cycles / CYCLES_PER_US, 3),
+                }
+            )
+        env.teardown(attacher)
+        env.teardown(owner)
+    _probe(env)
+    return rows
+
+
+def bench_fig5(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Fig. 5: STREAM and RandomAccess microbenchmarks across configs."""
+    rows = _sweep(env, Stream, MICROBENCH_LAYOUT, quick)
+    rows += _sweep(env, RandomAccess, MICROBENCH_LAYOUT, quick)
+    _probe(env)
+    return rows
+
+
+def _scaling(
+    env: CovirtEnvironment, workload_factory, quick: bool
+) -> list[dict[str, Any]]:
+    layouts = EVALUATION_LAYOUTS[:1] if quick else EVALUATION_LAYOUTS
+    rows = []
+    for layout in layouts:
+        rows += _sweep(env, workload_factory, layout, quick)
+    _probe(env)
+    return rows
+
+
+def bench_fig6(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Fig. 6: MiniFE scaling over CPU-core/NUMA-zone layouts."""
+    return _scaling(env, MiniFE, quick)
+
+
+def bench_fig7(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Fig. 7: HPCG scaling over CPU-core/NUMA-zone layouts."""
+    return _scaling(env, Hpcg, quick)
+
+
+def bench_fig8(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Fig. 8: LAMMPS loop times on the 8c/2n layout."""
+    problems = sorted(LAMMPS_PROBLEMS)
+    if quick:
+        problems = problems[:1]
+    layout = EVALUATION_LAYOUTS[3]
+    rows = []
+    for problem in problems:
+        rows += _sweep(env, lambda: Lammps(problem), layout, quick)
+    _probe(env)
+    return rows
+
+
+def bench_recovery(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Fault-containment MTTR: wild reads -> terminate -> recover."""
+    from repro.core.faults import EnclaveFaultError
+    from repro.recovery.policy import RestartWithBackoff
+
+    faults = 2 if quick else 4
+    service = env.launch_supervised(
+        Layout("bench-2c/2n", {0: 1, 1: 1}, {0: GiB, 1: GiB}),
+        CovirtConfig.full(),
+        RestartWithBackoff(base_delay_cycles=100_000),
+        name="bench-recovery",
+    )
+    protection_probe(env, service.enclave)
+    for _ in range(faults):
+        bsp = service.enclave.assignment.core_ids[0]
+        try:
+            service.enclave.port.read(bsp, WILD_ADDR, 8)
+        except EnclaveFaultError:
+            pass
+    env.recovery.checkpoint_now("bench-recovery")
+
+    rows: list[dict[str, Any]] = [{"faults_injected": faults}]
+    mttr = env.machine.obs.metrics.get(metric_names.MTTR_CYCLES)
+    if mttr is not None:
+        for labels, stats in mttr.samples():
+            rows.append(
+                {
+                    "fault_kind": labels.get("kind", ""),
+                    "recoveries": stats["count"],
+                    "mean_mttr_us": round(
+                        stats["sum"] / stats["count"] / CYCLES_PER_US, 2
+                    ),
+                }
+            )
+    return rows
+
+
+SCENARIOS: dict[str, tuple[str, Callable]] = {
+    "fig3": ("Fig. 3: Selfish-Detour noise profile", bench_fig3),
+    "fig4": ("Fig. 4: XEMEM attach delay", bench_fig4),
+    "fig5": ("Fig. 5: STREAM / RandomAccess microbenchmarks", bench_fig5),
+    "fig6": ("Fig. 6: MiniFE scaling over layouts", bench_fig6),
+    "fig7": ("Fig. 7: HPCG scaling over layouts", bench_fig7),
+    "fig8": ("Fig. 8: LAMMPS loop times (8c/2n)", bench_fig8),
+    "recovery": ("Fault-containment MTTR and checkpoint costs", bench_recovery),
+}
+
+
+def run_scenario(
+    name: str, quick: bool, seed: int = DEFAULT_SEED
+) -> dict[str, Any]:
+    """Run one scenario on a fresh environment; return its BENCH doc."""
+    title, fn = SCENARIOS[name]
+    env = CovirtEnvironment()
+    results = fn(env, quick)
+    registry = env.machine.obs.metrics
+    return {
+        "schema": BENCH_SCHEMA_NAME,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": name,
+        "title": title,
+        "quick": quick,
+        "seed": seed,
+        # Cores run ahead of the global clock while executing workloads;
+        # the furthest TSC is the scenario's true extent of simulated time.
+        "sim_cycles": max(
+            env.machine.clock.now,
+            max(
+                env.machine.core(i).read_tsc()
+                for i in range(env.machine.num_cores)
+            ),
+        ),
+        "exits_by_reason": registry.exit_counts_by_reason(),
+        "metrics": registry.to_dict(),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run bench scenarios and write BENCH_*.json artifacts."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trimmed sweeps for the CI smoke job",
+    )
+    parser.add_argument(
+        "--out-dir", default=str(REPO_ROOT),
+        help="directory for BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", choices=sorted(SCENARIOS), metavar="NAME",
+        help="run a subset of scenarios",
+    )
+    parser.add_argument("--seed", type=lambda s: int(s, 0), default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    names = args.only or sorted(SCENARIOS)
+    failures = 0
+    for name in names:
+        doc = run_scenario(name, args.quick, args.seed)
+        problems = validate_bench(doc)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(doc, indent=1, sort_keys=False) + "\n")
+        exits = sum(doc["exits_by_reason"].values())
+        print(
+            f"[{name}] {path.name}: {len(doc['results'])} results, "
+            f"{exits} exits over {len(doc['exits_by_reason'])} reasons, "
+            f"{doc['sim_cycles']} sim cycles"
+        )
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"[{name}]   INVALID: {problem}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

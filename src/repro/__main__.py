@@ -1,5 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
+import sys
+
 from repro.cli import main
 
-raise SystemExit(main())
+try:
+    status = main()
+except BrokenPipeError:
+    # Downstream closed the pipe (e.g. `... | head`); the Python docs
+    # recipe: point stdout at devnull so interpreter shutdown doesn't
+    # print a second traceback, and report the conventional 128+SIGPIPE.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    status = 141
+raise SystemExit(status)

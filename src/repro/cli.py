@@ -190,6 +190,88 @@ def run_recovery_demo() -> int:
     return 1 if failures else 0
 
 
+def run_trace_export(args) -> int:
+    """Run the canonical demo scenario and export its span stream as
+    Chrome-trace JSON (loads in Perfetto / chrome://tracing)."""
+    from repro.obs import validate_chrome_trace, write_chrome_trace
+    from repro.obs.export import chrome_trace
+    from repro.obs.scenario import run_canonical_scenario
+
+    env = run_canonical_scenario(seed=args.seed)
+    tracer = env.machine.obs.tracer
+    if args.golden:
+        for line in tracer.golden_lines():
+            print(line)
+        return 0
+    doc = chrome_trace(tracer.spans)
+    problems = validate_chrome_trace(doc)
+    if problems:  # pragma: no cover - would be a bug in the exporter
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    events = write_chrome_trace(tracer.spans, args.out)
+    print(
+        f"[wrote {args.out}: {events} events, {len(tracer.spans)} spans"
+        f" ({tracer.dropped} dropped)]"
+    )
+    return 0
+
+
+def run_metrics_dump(args) -> int:
+    """Run the canonical demo scenario and dump its metrics registry."""
+    import json
+
+    from repro.obs.scenario import run_canonical_scenario
+
+    env = run_canonical_scenario(seed=args.seed)
+    metrics = env.machine.obs.metrics
+    if args.json:
+        print(json.dumps(metrics.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(metrics.render_text())
+        print()
+        print("exits by reason:")
+        for reason, count in metrics.exit_counts_by_reason().items():
+            print(f"  {reason:24s} {count}")
+    return 0
+
+
+def run_bench_validate(args) -> int:
+    """Validate BENCH_*.json files against the covirt-bench schema."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import validate_bench
+
+    paths = sorted(
+        Path(p) for pattern in (args.paths or ["BENCH_*.json"])
+        for p in (
+            [pattern] if Path(pattern).is_file() else Path(".").glob(pattern)
+        )
+    )
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    bad = 0
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable: {exc}")
+            bad += 1
+            continue
+        problems = validate_bench(doc)
+        if problems:
+            bad += 1
+            print(f"{path}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            exits = sum(doc["exits_by_reason"].values())
+            print(f"{path}: ok ({doc['bench']}, {exits} exits)")
+    return 1 if bad else 0
+
+
 def run_fuzz(args) -> int:
     """Drive a seeded fuzz campaign; print the transcript and verdict."""
     from repro.fuzz import FuzzEngine, SCHEDULES, save_run, shrink_run
@@ -298,6 +380,37 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "verify", help="check every paper shape claim against its band"
     )
+    trace = sub.add_parser(
+        "trace-export",
+        help="run the canonical demo scenario, export spans as "
+        "Chrome-trace/Perfetto JSON (see docs/observability.md)",
+    )
+    trace.add_argument("--seed", type=int, default=0xC0517)
+    trace.add_argument(
+        "--out", metavar="FILE", default="trace.json", help="output path"
+    )
+    trace.add_argument(
+        "--golden",
+        action="store_true",
+        help="print the timestamp-free golden transcript instead of "
+        "writing a trace file",
+    )
+    mdump = sub.add_parser(
+        "metrics-dump",
+        help="run the canonical demo scenario, dump the metrics registry",
+    )
+    mdump.add_argument("--seed", type=int, default=0xC0517)
+    mdump.add_argument(
+        "--json", action="store_true", help="JSON instead of text"
+    )
+    bval = sub.add_parser(
+        "bench-validate",
+        help="validate BENCH_*.json files against the covirt-bench schema",
+    )
+    bval.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or globs (default: BENCH_*.json in the CWD)",
+    )
     fuzz = sub.add_parser(
         "fuzz",
         help="seeded deterministic fault-injection campaign "
@@ -343,6 +456,12 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"  {name:22s} {EXPERIMENTS[name].__doc__.splitlines()[0]}")
         return 0
+    if args.command == "trace-export":
+        return run_trace_export(args)
+    if args.command == "metrics-dump":
+        return run_metrics_dump(args)
+    if args.command == "bench-validate":
+        return run_bench_validate(args)
     if args.command == "fault-demo":
         return run_fault_demo()
     if args.command == "recovery-demo":

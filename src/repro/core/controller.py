@@ -46,6 +46,7 @@ from repro.hw.apic import DeliveryMode
 from repro.hw.machine import Machine
 from repro.hw.memory import MemoryRegion, PAGE_SIZE
 from repro.linuxhost.host import OFFLINE_OWNER
+from repro.obs import metric_names
 from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.perf.counters import PerfCounters
 from repro.pisces.enclave import Enclave
@@ -177,9 +178,16 @@ class CovirtController:
 
     def launch(self, spec, config: CovirtConfig | None) -> Enclave:
         """Launch a Pisces/Hobbes enclave, protected iff ``config``."""
-        return self.launch_via(
-            lambda: self.mcp.launch_enclave(spec), config
-        )
+        with self.machine.obs.tracer.span(
+            "controller.launch",
+            category="controller",
+            track="controller",
+            spec_name=getattr(spec, "name", ""),
+            protected=config is not None,
+        ):
+            return self.launch_via(
+                lambda: self.mcp.launch_enclave(spec), config
+            )
 
     def launch_via(self, boot_callable, config: CovirtConfig | None):
         """Run any framework's create+boot path with a pending Covirt
@@ -283,6 +291,16 @@ class CovirtController:
 
     def _note_config(self, detail: str) -> None:
         self.config_log.append((self.machine.clock.now, detail))
+        kind = detail.split(" ", 1)[0]
+        self.machine.obs.metrics.counter(
+            metric_names.CONFIG_UPDATES, "controller configuration rewrites"
+        ).inc(kind=kind)
+        self.machine.obs.tracer.instant(
+            f"controller.config.{kind}",
+            category="config",
+            track="controller",
+            detail=detail,
+        )
         for hook in list(self.config_hooks):
             hook(self.machine.clock.now, detail)
 
@@ -328,12 +346,25 @@ class CovirtController:
         """Send a command to every live core of an enclave and wait for
         completion.  The doorbell is a real NMI IPI: delivery invokes
         the hypervisor's service loop on the target core."""
-        updated = 0
-        for core_id in ctx.queues:
-            if ctx.hypervisors[core_id].terminated:
-                continue
-            self.issue_command_to(ctx, core_id, ctype)
-            updated += 1
+        with self.machine.obs.tracer.span(
+            f"controller.command.{ctype.name.lower()}",
+            category="controller",
+            track="controller",
+            enclave=ctx.enclave.enclave_id,
+        ) as span:
+            updated = 0
+            for core_id in ctx.queues:
+                if ctx.hypervisors[core_id].terminated:
+                    continue
+                self.issue_command_to(ctx, core_id, ctype)
+                updated += 1
+            span.args["cores"] = updated
+        if ctype is CommandType.MEMORY_UPDATE:
+            self.machine.obs.metrics.histogram(
+                metric_names.SHOOTDOWN_FANOUT,
+                "cores interrupted per TLB-shootdown drain",
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            ).observe(updated)
         return updated
 
     def issue_command_to(
@@ -383,19 +414,26 @@ class CovirtController:
         finally hand the fault to any recovery subscribers."""
         from repro.core.debug import FaultDossier
 
-        self.fault_log.append(fault)
-        ctx = self.contexts.get(fault.enclave_id)
-        if ctx is not None:
-            # Park the sibling hypervisors too (the whole enclave dies).
-            for hv in ctx.hypervisors.values():
-                hv.terminated = True
-            # The state a developer gets instead of a dead node.
-            self.dossiers[fault.enclave_id] = FaultDossier.collect(ctx, fault)
-        self._route_termination(fault)
-        # Only after routing: by now the enclave's resources are back in
-        # the host pool, which is the state recovery needs to start from.
-        for hook in list(self.fault_hooks):
-            hook(fault)
+        with self.machine.obs.tracer.span(
+            "controller.fault",
+            category="controller",
+            track="controller",
+            kind=fault.kind.value,
+            enclave=fault.enclave_id,
+        ):
+            self.fault_log.append(fault)
+            ctx = self.contexts.get(fault.enclave_id)
+            if ctx is not None:
+                # Park the sibling hypervisors too (the whole enclave dies).
+                for hv in ctx.hypervisors.values():
+                    hv.terminated = True
+                # The state a developer gets instead of a dead node.
+                self.dossiers[fault.enclave_id] = FaultDossier.collect(ctx, fault)
+            self._route_termination(fault)
+            # Only after routing: by now the enclave's resources are back in
+            # the host pool, which is the state recovery needs to start from.
+            for hook in list(self.fault_hooks):
+                hook(fault)
 
     def _route_termination(self, fault: CovirtFault) -> None:
         """Route termination to whichever framework owns the partition."""

@@ -33,11 +33,19 @@ def handles(reason: ExitReason) -> Callable[[Handler], Handler]:
 
 
 def dispatch(hv: "CovirtHypervisor", exit: VmExit) -> Any:
-    """Route one exit to its handler."""
+    """Route one exit to its handler, under a dispatch span so every
+    consequence (termination, controller fault routing, recovery) nests
+    beneath the exit that caused it."""
     handler = _HANDLERS.get(exit.reason)
     if handler is None:
         raise ValueError(f"no handler for exit {exit.reason}")  # pragma: no cover
-    return handler(hv, exit)
+    with hv.obs.tracer.span(
+        f"hv.dispatch.{exit.reason.value}",
+        category="exit",
+        track=hv.track,
+        now=hv.core.read_tsc,
+    ):
+        return handler(hv, exit)
 
 
 def _fault(hv: "CovirtHypervisor", kind: FaultKind, detail: str, qual: Any) -> CovirtFault:

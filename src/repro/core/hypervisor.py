@@ -18,6 +18,7 @@ from repro.core.faults import CovirtFault, EnclaveFaultError, FaultKind
 from repro.hw.cpu import Core, CpuMode
 from repro.hw.interrupts import Interrupt, InterruptKind
 from repro.hw.machine import Machine
+from repro.obs import metric_names
 from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.perf.counters import PerfCounters
 from repro.perf.trace import EventTrace, TraceKind
@@ -62,22 +63,40 @@ class CovirtHypervisor:
         #: Set by the controller: where terminations are reported.
         self.fault_sink: Callable[[CovirtFault], None] | None = None
         self.terminated = False
+        #: Machine-wide observability (spans + metrics), shared with the
+        #: controller and recovery layers.  Recording is passive.
+        self.obs = machine.obs
+        #: Span track this core's events render on.
+        self.track = f"core{core.core_id}"
+
+    def _metric_labels(self) -> dict[str, int]:
+        return {
+            "core": self.core.core_id,
+            "enclave": self.ctx.enclave.enclave_id,
+        }
 
     # -- entry -----------------------------------------------------------
 
     def launch(self) -> None:
         """VMPTRLD + VMLAUNCH into the co-kernel's native entry point."""
-        self.vmcs.validate()
-        self.core.advance(self.costs.vmcs_load + self.costs.vm_launch)
-        self.loaded_generation = self.vmcs.generation
-        self.vmcs.launched = True
-        self.core.mode = CpuMode.GUEST
-        self.core.vm_entries += 1
-        self.trace.record(
-            self.core.read_tsc(),
-            TraceKind.LAUNCH,
-            f"VMLAUNCH → {self.vmcs.guest.entry_point:#x}",
-        )
+        with self.obs.tracer.span(
+            "hv.launch",
+            category="hv",
+            track=self.track,
+            now=self.core.read_tsc,
+            entry_point=hex(self.vmcs.guest.entry_point),
+        ):
+            self.vmcs.validate()
+            self.core.advance(self.costs.vmcs_load + self.costs.vm_launch)
+            self.loaded_generation = self.vmcs.generation
+            self.vmcs.launched = True
+            self.core.mode = CpuMode.GUEST
+            self.core.vm_entries += 1
+            self.trace.record(
+                self.core.read_tsc(),
+                TraceKind.LAUNCH,
+                f"VMLAUNCH → {self.vmcs.guest.entry_point:#x}",
+            )
 
     # -- exit accounting ---------------------------------------------------
 
@@ -87,6 +106,21 @@ class CovirtHypervisor:
         self.core.advance(cost)
         self.counters.record_exit(reason.value, cost)
         self.trace.record(self.core.read_tsc(), TraceKind.EXIT, reason.value)
+        tsc = self.core.read_tsc()
+        self.obs.tracer.complete(
+            f"hv.exit.{reason.value}",
+            tsc - cost,
+            tsc,
+            category="exit",
+            track=self.track,
+        )
+        metrics = self.obs.metrics
+        metrics.counter(
+            metric_names.EXITS, "VM exits by reason/core/enclave"
+        ).inc(reason=reason.value, **self._metric_labels())
+        metrics.histogram(
+            metric_names.EXIT_CYCLES, "exit round-trip latency (cycles)"
+        ).observe(cost, reason=reason.value)
         return cost
 
     def make_exit(self, reason: ExitReason, qualification: Any = None) -> VmExit:
@@ -110,9 +144,15 @@ class CovirtHypervisor:
             self.core.resume()
         if interrupt.kind is InterruptKind.NMI:
             # The controller's doorbell: service the command queue.
-            self.core.advance(self.costs.nmi_delivery)
-            self.account_exit(ExitReason.EXCEPTION_OR_NMI)
-            self.service_commands()
+            with self.obs.tracer.span(
+                "hv.nmi",
+                category="hv",
+                track=self.track,
+                now=self.core.read_tsc,
+            ):
+                self.core.advance(self.costs.nmi_delivery)
+                self.account_exit(ExitReason.EXCEPTION_OR_NMI)
+                self.service_commands()
             return
         mode = self.vmcs.controls.vapic_mode
         kernel = self.ctx.enclave.kernel
@@ -153,17 +193,28 @@ class CovirtHypervisor:
     def service_commands(self) -> int:
         """Drain the command queue; returns commands serviced."""
         serviced = 0
-        while True:
-            cmd = self.queue.dequeue()
-            if cmd is None:
-                break
-            self._execute_command(cmd)
-            self.queue.mark_completed(cmd)
-            self.counters.commands_serviced += 1
-            self.trace.record(
-                self.core.read_tsc(), TraceKind.COMMAND, cmd.type.name
-            )
-            serviced += 1
+        commands = self.obs.metrics.counter(
+            metric_names.COMMANDS, "commands drained from per-core queues"
+        )
+        with self.obs.tracer.span(
+            "hv.drain",
+            category="hv",
+            track=self.track,
+            now=self.core.read_tsc,
+        ) as drain:
+            while True:
+                cmd = self.queue.dequeue()
+                if cmd is None:
+                    break
+                self._execute_command(cmd)
+                self.queue.mark_completed(cmd)
+                self.counters.commands_serviced += 1
+                self.trace.record(
+                    self.core.read_tsc(), TraceKind.COMMAND, cmd.type.name
+                )
+                commands.inc(type=cmd.type.name, **self._metric_labels())
+                serviced += 1
+            drain.args["serviced"] = serviced
         return serviced
 
     def _execute_command(self, cmd: Command) -> None:
@@ -204,13 +255,23 @@ class CovirtHypervisor:
         if self.terminated:
             return
         self.terminated = True
-        self.trace.record(
-            self.core.read_tsc(), TraceKind.TERMINATE, fault.detail
-        )
-        self.core.mode = CpuMode.HYPERVISOR
-        self.core.halt()
-        if self.fault_sink is not None:
-            self.fault_sink(fault)
+        with self.obs.tracer.span(
+            "hv.terminate",
+            category="hv",
+            track=self.track,
+            now=self.core.read_tsc,
+            kind=fault.kind.value,
+        ):
+            self.obs.metrics.counter(
+                metric_names.TERMINATIONS, "guest terminations by fault kind"
+            ).inc(kind=fault.kind.value, **self._metric_labels())
+            self.trace.record(
+                self.core.read_tsc(), TraceKind.TERMINATE, fault.detail
+            )
+            self.core.mode = CpuMode.HYPERVISOR
+            self.core.halt()
+            if self.fault_sink is not None:
+                self.fault_sink(fault)
 
     def fault_and_raise(self, fault: CovirtFault) -> None:
         """Terminate and unwind the simulated guest's execution."""

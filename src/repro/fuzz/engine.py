@@ -405,6 +405,15 @@ class FuzzEngine:
     def _apply(self, action: Action) -> None:
         self._sweep()
         index = len(self.steps)
+        # The step span is passive: spans/metrics are not part of the
+        # fingerprint, so instrumentation cannot perturb determinism.
+        obs = self.env.machine.obs
+        step_span = obs.tracer.begin(
+            f"fuzz.step.{action.kind.name.lower()}",
+            category="fuzz",
+            track="fuzz",
+            step=index,
+        )
         try:
             outcome = self._dispatch(action)
         except EnclaveFaultError:
@@ -421,6 +430,13 @@ class FuzzEngine:
                 "kind": "exception",
                 "detail": f"{type(exc).__name__}: {exc}",
             }
+        step_span.args["outcome"] = outcome
+        obs.tracer.end(step_span)
+        from repro.obs import metric_names
+
+        obs.metrics.counter(
+            metric_names.FUZZ_STEPS, "fuzz actions applied"
+        ).inc(kind=action.kind.name.lower(), outcome=outcome.split(":", 1)[0])
         self._sweep()
         try:
             self.oracles.check_all()

@@ -61,6 +61,14 @@ class Machine:
         self.memory = PhysicalMemory(self.config.total_memory)
         self.clock = Clock()
         self.events = EventQueue(self.clock)
+        # Imported here to keep hw/ free of package-level cycles
+        # (repro.obs imports hw.clock for the cycle/µs conversion).
+        from repro.obs import Observability
+
+        #: Machine-wide observability: span tracer + metrics registry.
+        #: Instance-scoped by construction — two machines never share
+        #: a counter.  Strictly passive: recording never advances time.
+        self.obs = Observability(self.clock)
         self.ioports = IoPortSpace()
         self.cores: list[Core] = []
         for zone in self.topology.zones:

@@ -1,0 +1,68 @@
+"""repro.obs — the unified observability layer.
+
+One :class:`Observability` bundle hangs off every simulated
+:class:`~repro.hw.machine.Machine` (``machine.obs``): a machine-wide
+:class:`~repro.obs.spans.SpanTracer` plus a
+:class:`~repro.obs.metrics.MetricsRegistry`.  Both are strictly
+**passive** — they never advance the clock, consume randomness, or
+otherwise perturb the simulation — so enabling them changes no
+experiment result and no fuzz fingerprint.
+
+See ``docs/observability.md`` for the span model, metric naming
+conventions, and the ``BENCH_*.json`` schema.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs import metrics as metric_names
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.schema import (
+    BENCH_SCHEMA_NAME,
+    BENCH_SCHEMA_VERSION,
+    validate_bench,
+    validate_chrome_trace,
+)
+from repro.obs.spans import Span, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.clock import Clock
+
+
+class Observability:
+    """Per-machine bundle: span tracer + metrics registry."""
+
+    def __init__(self, clock: "Clock") -> None:
+        self.tracer = SpanTracer(clock)
+        self.metrics = MetricsRegistry()
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (used between benchmark
+        scenarios sharing one environment)."""
+        self.tracer.clear()
+        self.metrics = MetricsRegistry()
+
+
+__all__ = [
+    "BENCH_SCHEMA_NAME",
+    "BENCH_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "metric_names",
+    "validate_bench",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

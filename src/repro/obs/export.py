@@ -1,0 +1,89 @@
+"""Chrome-trace / Perfetto export for span streams.
+
+The output follows the Trace Event Format (the JSON Perfetto and
+``chrome://tracing`` both load): a ``traceEvents`` array of ``ph:"X"``
+complete events with microsecond ``ts``/``dur``.  Simulated cycles are
+converted with the machine's nominal frequency, so one simulated
+microsecond renders as one trace microsecond.
+
+Tracks map onto the trace's process/thread grid: every distinct span
+``track`` (``core3``, ``controller``, ``recovery``, ``fuzz``, ...)
+becomes a named thread inside a single "covirt-sim" process, announced
+with ``ph:"M"`` thread_name metadata so the UI shows readable lanes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.hw.clock import CYCLES_PER_US
+from repro.obs.spans import Span
+
+#: Synthetic pid for the whole simulation.
+TRACE_PID = 1
+
+
+def _track_tids(spans: Iterable[Span]) -> dict[str, int]:
+    """Stable track → tid assignment (sorted, so exports are
+    deterministic regardless of span arrival order)."""
+    tracks = sorted({span.track for span in spans})
+    return {track: tid for tid, track in enumerate(tracks, start=1)}
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
+    """Render spans as a Trace Event Format document (JSON-ready)."""
+    spans = list(spans)
+    tids = _track_tids(spans)
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": "covirt-sim"},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        args = {str(k): v for k, v in span.args.items()}
+        args["cycles"] = end - span.start
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category or "sim",
+                "pid": TRACE_PID,
+                "tid": tids[span.track],
+                "ts": span.start / CYCLES_PER_US,
+                "dur": (end - span.start) / CYCLES_PER_US,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": "simulated-cycles",
+            "cycles_per_us": CYCLES_PER_US,
+        },
+    }
+
+
+def write_chrome_trace(spans: Iterable[Span], path: str) -> int:
+    """Write the export to ``path``; returns the event count."""
+    doc = chrome_trace(spans)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return len(doc["traceEvents"])

@@ -1,0 +1,284 @@
+"""The metrics registry: counters, gauges, cycle-bucketed histograms.
+
+One :class:`MetricsRegistry` lives on each :class:`~repro.hw.machine.Machine`
+(``machine.obs.metrics``) — **instance-scoped, never module-global** —
+so concurrent experiments on separate machines can never cross-
+contaminate counts (see ``tests/perf/test_counters_isolation.py``).
+
+Metric naming follows ``<subsystem>.<what>[_<unit>]`` with labels for
+the dimensions (``reason``, ``core``, ``enclave``, ``kind``); the full
+conventions live in ``docs/observability.md``.  All label values are
+coerced to strings so samples sort deterministically, which keeps every
+rendering — text, JSON, BENCH_*.json — byte-stable for a given run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+# -- canonical metric names (grep-ability + typo-proof tests) -----------
+
+#: VM exits, by ``reason`` / ``core`` / ``enclave``.
+EXITS = "covirt.exits"
+#: Exit round-trip latency histogram (cycles), by ``reason``.
+EXIT_CYCLES = "covirt.exit_cycles"
+#: Commands drained from per-core queues, by ``type``.
+COMMANDS = "covirt.commands"
+#: Trapped ICR writes, by ``verdict`` (forwarded | filtered).
+IPIS = "covirt.ipis"
+#: Guest terminations, by fault ``kind``.
+TERMINATIONS = "covirt.terminations"
+#: Controller configuration rewrites, by ``kind`` (ept-map, ...).
+CONFIG_UPDATES = "controller.config_updates"
+#: Cores interrupted per MEMORY_UPDATE drain (TLB-shootdown fan-out).
+SHOOTDOWN_FANOUT = "controller.shootdown_fanout"
+#: Detection → RUNNING recovery latency (cycles), by fault ``kind``.
+MTTR_CYCLES = "recovery.mttr_cycles"
+#: Per-checkpoint cost (cycles).
+CHECKPOINT_CYCLES = "recovery.checkpoint_cycles"
+#: Approximate serialized checkpoint size (bytes).
+CHECKPOINT_BYTES = "recovery.checkpoint_bytes"
+#: Fuzz steps applied, by action ``kind`` and ``outcome`` class.
+FUZZ_STEPS = "fuzz.steps"
+#: Workload executions, by ``workload`` and ``config``.
+WORKLOAD_RUNS = "workload.runs"
+
+#: Geometric cycle buckets spanning a posted delivery (~80 cyc) to a
+#: slow recovery (~10^8 cyc); upper bounds, +Inf implied.
+DEFAULT_CYCLE_BUCKETS: tuple[int, ...] = (
+    100, 250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000,
+    64_000, 128_000, 256_000, 512_000, 1_000_000, 4_000_000,
+    16_000_000, 64_000_000, 256_000_000,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _labelkey(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common bookkeeping for all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def samples(self) -> list[tuple[dict[str, str], Any]]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: int | float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _labelkey(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def get(self, **labels: Any) -> float:
+        return self._values.get(_labelkey(labels), 0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def sum_by(self, label: str) -> dict[str, float]:
+        """Collapse all samples onto one label dimension."""
+        out: dict[str, float] = {}
+        for key, value in self._values.items():
+            bucket = dict(key).get(label, "")
+            out[bucket] = out.get(bucket, 0) + value
+        return dict(sorted(out.items()))
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        return [(dict(k), v) for k, v in sorted(self._values.items())]
+
+
+class Gauge(Metric):
+    """A set-to-current-value metric per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: int | float, **labels: Any) -> None:
+        self._values[_labelkey(labels)] = value
+
+    def get(self, **labels: Any) -> float:
+        return self._values.get(_labelkey(labels), 0)
+
+    def samples(self) -> list[tuple[dict[str, str], float]]:
+        return [(dict(k), v) for k, v in sorted(self._values.items())]
+
+
+class Histogram(Metric):
+    """Bucketed distribution (cycle-bucketed by default)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[int, ...] | None = None,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(buckets or DEFAULT_CYCLE_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        #: label key → per-bucket counts (len(bounds)+1: last is +Inf).
+        self._buckets: dict[LabelKey, list[int]] = {}
+        self._sum: dict[LabelKey, float] = {}
+        self._count: dict[LabelKey, int] = {}
+
+    def observe(self, value: int | float, **labels: Any) -> None:
+        key = _labelkey(labels)
+        counts = self._buckets.setdefault(key, [0] * (len(self.bounds) + 1))
+        counts[bisect.bisect_left(self.bounds, value)] += 1
+        self._sum[key] = self._sum.get(key, 0) + value
+        self._count[key] = self._count.get(key, 0) + 1
+
+    def count(self, **labels: Any) -> int:
+        return self._count.get(_labelkey(labels), 0)
+
+    def total_count(self) -> int:
+        return sum(self._count.values())
+
+    def sum(self, **labels: Any) -> float:
+        return self._sum.get(_labelkey(labels), 0)
+
+    def mean(self, **labels: Any) -> float:
+        n = self.count(**labels)
+        return self.sum(**labels) / n if n else 0.0
+
+    def samples(self) -> list[tuple[dict[str, str], dict[str, Any]]]:
+        out = []
+        for key in sorted(self._buckets):
+            out.append(
+                (
+                    dict(key),
+                    {
+                        "counts": list(self._buckets[key]),
+                        "sum": self._sum[key],
+                        "count": self._count[key],
+                    },
+                )
+            )
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric on one machine."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[int, ...] | None = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- convenience views ----------------------------------------------
+
+    def exit_counts_by_reason(self) -> dict[str, int]:
+        """The paper's first question — exits, by reason, machine-wide."""
+        metric = self._metrics.get(EXITS)
+        if not isinstance(metric, Counter):
+            return {}
+        return {k: int(v) for k, v in metric.sum_by("reason").items()}
+
+    # -- rendering -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-ready dump of every metric."""
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = {
+                    "help": metric.help,
+                    "samples": [
+                        {"labels": labels, "value": value}
+                        for labels, value in metric.samples()
+                    ],
+                }
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = {
+                    "help": metric.help,
+                    "samples": [
+                        {"labels": labels, "value": value}
+                        for labels, value in metric.samples()
+                    ],
+                }
+            elif isinstance(metric, Histogram):
+                out["histograms"][name] = {
+                    "help": metric.help,
+                    "bounds": list(metric.bounds),
+                    "samples": [
+                        {"labels": labels, **stats}
+                        for labels, stats in metric.samples()
+                    ],
+                }
+        return out
+
+    def render_text(self) -> str:
+        """The ``metrics-dump`` CLI's human-readable form."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            lines.append(f"# {metric.kind} {name}" + (
+                f" — {metric.help}" if metric.help else ""
+            ))
+            if isinstance(metric, Histogram):
+                for labels, stats in metric.samples():
+                    label_str = ",".join(f"{k}={v}" for k, v in labels.items())
+                    mean = stats["sum"] / stats["count"] if stats["count"] else 0
+                    lines.append(
+                        f"  {{{label_str}}} count={stats['count']} "
+                        f"sum={stats['sum']:.0f} mean={mean:.1f}"
+                    )
+            else:
+                for labels, value in metric.samples():
+                    label_str = ",".join(f"{k}={v}" for k, v in labels.items())
+                    lines.append(f"  {{{label_str}}} {value:g}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,142 @@
+"""Schema checks for the observability artifacts.
+
+Two document shapes are validated here, dependency-free (no
+``jsonschema`` in the image):
+
+* ``BENCH_*.json`` — the schema-versioned benchmark result files the
+  runner writes at the repo root.  CI's ``bench-smoke`` job and the
+  pipeline tests both call :func:`validate_bench` so a malformed file
+  can never land silently.
+* Chrome-trace exports — :func:`validate_chrome_trace` checks the
+  Trace Event Format essentials Perfetto needs to load the file.
+
+Validators return a list of problems (empty = valid) so callers can
+report every defect at once rather than dying on the first.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+BENCH_SCHEMA_NAME = "covirt-bench"
+BENCH_SCHEMA_VERSION = 1
+
+#: Every BENCH_*.json must carry these top-level keys.
+_BENCH_REQUIRED: tuple[tuple[str, type | tuple[type, ...]], ...] = (
+    ("schema", str),
+    ("schema_version", int),
+    ("bench", str),
+    ("title", str),
+    ("quick", bool),
+    ("seed", int),
+    ("sim_cycles", int),
+    ("exits_by_reason", dict),
+    ("metrics", dict),
+    ("results", list),
+)
+
+
+def validate_bench(doc: Any) -> list[str]:
+    """Validate one parsed ``BENCH_*.json`` document."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    for key, types in _BENCH_REQUIRED:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(doc[key], types):
+            problems.append(
+                f"key {key!r} must be {types}, got {type(doc[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if doc["schema"] != BENCH_SCHEMA_NAME:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA_NAME!r}, got {doc['schema']!r}"
+        )
+    if doc["schema_version"] != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {doc['schema_version']}"
+        )
+    exits = doc["exits_by_reason"]
+    if not exits:
+        problems.append("exits_by_reason must not be empty")
+    for reason, count in exits.items():
+        if not isinstance(reason, str) or not isinstance(count, int):
+            problems.append(
+                f"exits_by_reason entries must be str->int, got "
+                f"{reason!r}: {count!r}"
+            )
+            break
+    metrics = doc["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics or not isinstance(metrics[section], dict):
+            problems.append(f"metrics.{section} must be an object")
+    histograms = metrics.get("histograms")
+    if isinstance(histograms, dict):
+        populated = [
+            name
+            for name, hist in histograms.items()
+            if isinstance(hist, dict)
+            and any(s.get("count", 0) > 0 for s in hist.get("samples", []))
+        ]
+        if not populated:
+            problems.append(
+                "metrics.histograms must contain at least one populated "
+                "latency histogram"
+            )
+        for name, hist in histograms.items():
+            if not isinstance(hist, dict):
+                problems.append(f"histogram {name!r} must be an object")
+                continue
+            bounds = hist.get("bounds")
+            if not isinstance(bounds, list) or not bounds:
+                problems.append(f"histogram {name!r} missing bounds")
+                continue
+            for sample in hist.get("samples", []):
+                counts = sample.get("counts")
+                if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+                    problems.append(
+                        f"histogram {name!r} sample counts must have "
+                        f"len(bounds)+1 = {len(bounds) + 1} entries"
+                    )
+                    break
+    for i, row in enumerate(doc["results"]):
+        if not isinstance(row, dict):
+            problems.append(f"results[{i}] must be an object")
+    return problems
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Validate a parsed Chrome-trace export (Trace Event Format)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    if not events:
+        problems.append("traceEvents must not be empty")
+    complete = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"traceEvents[{i}] must be an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M", "B", "E", "i", "I"):
+            problems.append(f"traceEvents[{i}] has unsupported ph {ph!r}")
+            continue
+        if "name" not in event or "pid" not in event:
+            problems.append(f"traceEvents[{i}] missing name/pid")
+            continue
+        if ph == "X":
+            complete += 1
+            ts, dur = event.get("ts"), event.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"traceEvents[{i}] needs numeric ts >= 0")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"traceEvents[{i}] needs numeric dur >= 0")
+    if not complete:
+        problems.append("trace contains no complete (ph='X') events")
+    return problems

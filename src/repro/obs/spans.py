@@ -1,0 +1,230 @@
+"""Span-based structured tracing.
+
+A :class:`SpanTracer` records nestable spans over **simulated** time:
+every timestamp is a cycle count read from the machine's
+:class:`~repro.hw.clock.Clock` (or a core's TSC, which runs on the same
+simulated timeline), never the wall clock — so two runs of the same
+seeded scenario produce byte-identical span streams, and the golden
+trace tests can pin the instrumentation down.
+
+Because the whole simulator executes on one Python thread, call nesting
+*is* causal nesting: a single span stack suffices machine-wide, and a
+span's ``depth`` reflects the true dynamic scope it opened in (a
+recovery span opened inside an EPT-violation handler shows up as that
+exit's descendant).  Spans still carry a ``track`` label (``core3``,
+``controller``, ``recovery``, ``fuzz``) so exports can lay them out on
+separate timelines.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.clock import Clock
+
+#: Default bound on retained spans; long fuzz campaigns stay O(capacity).
+DEFAULT_SPAN_CAPACITY = 200_000
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time."""
+
+    span_id: int
+    parent_id: int | None
+    depth: int
+    name: str
+    category: str
+    track: str
+    start: int
+    end: int | None = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        """Cycles between open and close (0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def golden_line(self) -> str:
+        """The timestamp-free form the golden-trace tests assert on:
+        nesting (indent), track, and name — renames and drops break it,
+        cost-model changes do not."""
+        return f"{'  ' * self.depth}[{self.track}] {self.name}"
+
+
+class SpanTracer:
+    """Machine-wide span recorder."""
+
+    def __init__(
+        self, clock: "Clock", capacity: int = DEFAULT_SPAN_CAPACITY
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("span capacity must be positive")
+        self.clock = clock
+        self.capacity = capacity
+        #: Completed and open spans, in *start* order.
+        self.spans: list[Span] = []
+        #: Spans discarded once capacity was reached.
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # -- time ------------------------------------------------------------
+
+    def _resolve(self, now: int | Callable[[], int] | None) -> int:
+        if now is None:
+            return self.clock.now
+        if callable(now):
+            return int(now())
+        return int(now)
+
+    # -- recording -------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        track: str = "main",
+        now: int | Callable[[], int] | None = None,
+        **args: Any,
+    ) -> Span:
+        """Open a span at the current simulated time.  The span nests
+        under whatever span is currently open."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            name=name,
+            category=category,
+            track=track,
+            start=self._resolve(now),
+            args=dict(args),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def end(
+        self, span: Span, *, now: int | Callable[[], int] | None = None
+    ) -> Span:
+        """Close ``span`` (and, defensively, anything opened inside it
+        that was left dangling)."""
+        when = self._resolve(now)
+        while self._stack:
+            top = self._stack.pop()
+            if top.end is None:
+                top.end = max(when, top.start)
+            if top is span:
+                break
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        track: str = "main",
+        now: int | Callable[[], int] | None = None,
+        **args: Any,
+    ) -> Iterator[Span]:
+        """Context-managed span; ``now`` may be a callable (e.g. a
+        core's ``read_tsc``) sampled at both open and close."""
+        span = self.begin(name, category=category, track=track, now=now, **args)
+        try:
+            yield span
+        finally:
+            self.end(span, now=now)
+
+    def complete(
+        self,
+        name: str,
+        start: int,
+        end: int,
+        *,
+        category: str = "",
+        track: str = "main",
+        **args: Any,
+    ) -> Span:
+        """Record an already-finished interval (explicit start/end) as a
+        child of the currently open span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            name=name,
+            category=category,
+            track=track,
+            start=int(start),
+            end=max(int(end), int(start)),
+            args=dict(args),
+        )
+        self._next_id += 1
+        if len(self.spans) < self.capacity:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def instant(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        track: str = "main",
+        now: int | Callable[[], int] | None = None,
+        **args: Any,
+    ) -> Span:
+        """A zero-duration marker."""
+        when = self._resolve(now)
+        return self.complete(
+            name, when, when, category=category, track=track, **args
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def names(self) -> list[str]:
+        return [span.name for span in self.spans]
+
+    def golden_lines(self) -> list[str]:
+        """The deterministic, timestamp-free transcript the golden-trace
+        regression tests compare against a checked-in file."""
+        return [span.golden_line() for span in self.spans]
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable tree tail (timestamps included)."""
+        spans = self.spans if limit is None else self.spans[-limit:]
+        lines = []
+        for span in spans:
+            end = span.end if span.end is not None else "..."
+            lines.append(
+                f"{span.start:>14d}..{end:<14} "
+                f"{'  ' * span.depth}{span.name} [{span.track}]"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Forget recorded spans (open spans stay on the stack)."""
+        self.spans = [span for span in self._stack]
+        self.dropped = 0

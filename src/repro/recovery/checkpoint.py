@@ -109,6 +109,22 @@ class EnclaveCheckpoint:
     dirty_sections: tuple[str, ...] = ()
     cost_cycles: int = 0
 
+    @property
+    def approx_bytes(self) -> int:
+        """Deterministic estimate of the serialized snapshot size, fed
+        to the ``recovery.checkpoint_bytes`` histogram.  Nominal record
+        sizes, not Python object sizes, so the number is stable across
+        interpreter versions."""
+        return (
+            256  # header + resource record
+            + 16 * len(self.resources.core_ids)
+            + 64 * len(self.tasks)
+            + 96 * len(self.segments)
+            + 64 * len(self.grants)
+            + sum(16 * (1 + len(cmds)) for _, cmds in self.pending_commands)
+            + sum(len(line) for line in self.console_tail)
+        )
+
 
 class CheckpointManager:
     """Takes and stores per-enclave incremental checkpoints."""

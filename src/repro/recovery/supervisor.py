@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.faults import CovirtFault, FaultKey, key_from_record
 from repro.core.features import CovirtConfig
+from repro.obs import metric_names
 from repro.perf.trace import EventTrace, TraceKind
 from repro.pisces.enclave import Enclave, EnclaveState, FaultRecord
 from repro.pisces.resources import ResourceSpec
@@ -179,7 +180,7 @@ class RecoverySupervisor:
         )
         self.services[service_name] = service
         cp = self.checkpoints.checkpoint(enclave)
-        self.metrics.record_checkpoint(cp.cost_cycles)
+        self._note_checkpoint(cp, service_name)
         self._trace(
             TraceKind.CHECKPOINT,
             f"baseline gen {cp.generation} for {service_name!r}",
@@ -209,7 +210,7 @@ class RecoverySupervisor:
     def checkpoint_now(self, name: str) -> EnclaveCheckpoint:
         service = self.services[name]
         cp = self.checkpoints.checkpoint(service.enclave)
-        self.metrics.record_checkpoint(cp.cost_cycles)
+        self._note_checkpoint(cp, name)
         self._trace(
             TraceKind.CHECKPOINT,
             f"gen {cp.generation} for {name!r} "
@@ -240,6 +241,13 @@ class RecoverySupervisor:
 
     def _observe_failure(self, service: SupervisedService, key: FaultKey) -> None:
         detection_tsc = self.machine.clock.now
+        self.machine.obs.tracer.instant(
+            "recovery.detected",
+            category="recovery",
+            track="recovery",
+            service=service.name,
+            kind=key.kind,
+        )
         self._set_phase(service, RecoveryPhase.TERMINATED)
         service.history.append(key)
         service.pending_key = key
@@ -294,6 +302,26 @@ class RecoverySupervisor:
         *,
         raise_on_scrub: bool,
     ) -> None:
+        with self.machine.obs.tracer.span(
+            "recovery.recover",
+            category="recovery",
+            track="recovery",
+            service=service.name,
+            kind=key.kind,
+        ):
+            self._recover_inner(
+                service, key, detection_tsc, raise_on_scrub=raise_on_scrub
+            )
+
+    def _recover_inner(
+        self,
+        service: SupervisedService,
+        key: FaultKey,
+        detection_tsc: int,
+        *,
+        raise_on_scrub: bool,
+    ) -> None:
+        tracer = self.machine.obs.tracer
         old_id = service.enclave.enclave_id
         old_cores = tuple(service.enclave.assignment.core_ids)
         checkpoint = self.checkpoints.latest.get(old_id)
@@ -337,11 +365,22 @@ class RecoverySupervisor:
         # Backoff: wall-clock delay on the simulated clock (advance, not
         # elapse — the machine is idle, no timers should fire for us).
         if decision.delay_cycles:
+            before = self.machine.clock.now
             self.machine.clock.advance(decision.delay_cycles)
+            tracer.complete(
+                "recovery.backoff",
+                before,
+                self.machine.clock.now,
+                category="recovery",
+                track="recovery",
+            )
 
         # SCRUBBING — refuse to relaunch over leaked resources.
         self._set_phase(service, RecoveryPhase.SCRUBBING)
-        scrub_report = self.scrubber.scrub(old_id, old_cores)
+        with tracer.span(
+            "recovery.scrub", category="recovery", track="recovery"
+        ):
+            scrub_report = self.scrubber.scrub(old_id, old_cores)
         if not scrub_report.clean:
             self._set_phase(service, RecoveryPhase.SCRUB_FAILED)
             self._trace(
@@ -369,17 +408,23 @@ class RecoverySupervisor:
         # RELAUNCHING — same create → boot → wire path as a first launch.
         self._set_phase(service, RecoveryPhase.RELAUNCHING)
         spec = decision.respec or base_spec
-        if self.controller is not None and service.config is not None:
-            new_enclave = self.controller.launch(spec, service.config)
-        else:
-            new_enclave = self.mcp.relaunch_enclave(spec)
+        with tracer.span(
+            "recovery.relaunch", category="recovery", track="recovery"
+        ):
+            if self.controller is not None and service.config is not None:
+                new_enclave = self.controller.launch(spec, service.config)
+            else:
+                new_enclave = self.mcp.relaunch_enclave(spec)
 
         # REPLAYING — restore exports, grants, tasks, pending commands.
         self._set_phase(service, RecoveryPhase.REPLAYING)
-        if checkpoint is not None:
-            replay_report = self.replayer.replay(checkpoint, new_enclave)
-        else:
-            replay_report = ReplayReport(old_id, new_enclave.enclave_id)
+        with tracer.span(
+            "recovery.replay", category="recovery", track="recovery"
+        ):
+            if checkpoint is not None:
+                replay_report = self.replayer.replay(checkpoint, new_enclave)
+            else:
+                replay_report = ReplayReport(old_id, new_enclave.enclave_id)
         service.last_replay = replay_report
 
         # Back to RUNNING under the service's identity.
@@ -396,6 +441,10 @@ class RecoverySupervisor:
         service.pending_key = None
 
         completion_tsc = self.machine.clock.now
+        self.machine.obs.metrics.histogram(
+            metric_names.MTTR_CYCLES,
+            "detection → RUNNING recovery latency (cycles)",
+        ).observe(completion_tsc - detection_tsc, kind=key.kind)
         self.metrics.record(
             RecoveryRecord(
                 service=service.name,
@@ -420,9 +469,32 @@ class RecoverySupervisor:
         )
         # Fresh baseline for the new incarnation.
         cp = self.checkpoints.rebase(old_id, new_enclave)
-        self.metrics.record_checkpoint(cp.cost_cycles)
+        self._note_checkpoint(cp, service.name)
 
     # -- helpers ---------------------------------------------------------
 
     def _trace(self, kind: TraceKind, detail: str) -> None:
         self.trace.record(self.machine.clock.now, kind, detail)
+
+    def _note_checkpoint(self, cp: EnclaveCheckpoint, name: str) -> None:
+        """Fold one checkpoint into both metric systems: the recovery
+        report and the machine-wide observability registry."""
+        self.metrics.record_checkpoint(cp.cost_cycles)
+        obs = self.machine.obs
+        obs.tracer.complete(
+            "recovery.checkpoint",
+            cp.tsc - cp.cost_cycles,
+            cp.tsc,
+            category="recovery",
+            track="recovery",
+            service=name,
+            generation=cp.generation,
+        )
+        obs.metrics.histogram(
+            metric_names.CHECKPOINT_CYCLES, "per-checkpoint cost (cycles)"
+        ).observe(cp.cost_cycles)
+        obs.metrics.histogram(
+            metric_names.CHECKPOINT_BYTES,
+            "approximate serialized checkpoint size (bytes)",
+            buckets=(256, 512, 1024, 2048, 4096, 8192, 16384, 65536),
+        ).observe(cp.approx_bytes)

@@ -216,6 +216,16 @@ class ExecutionEngine:
         enclave.require_running()
         shape = self._shape(enclave)
         label, ctx = self._config(enclave)
+        from repro.obs import metric_names
+
+        bsp = enclave.assignment.core_ids[0]
+        workload_span = self.machine.obs.tracer.begin(
+            f"workload.{workload.name}",
+            category="workload",
+            track="workload",
+            now=self.machine.core(bsp).read_tsc,
+            config=label,
+        )
         breakdown: dict[str, float] = {
             k: 0.0
             for k in (
@@ -243,6 +253,12 @@ class ExecutionEngine:
         # Time actually passes on the enclave's cores.
         for core_id in enclave.assignment.core_ids:
             self.machine.core(core_id).advance(elapsed)
+        self.machine.obs.tracer.end(
+            workload_span, now=self.machine.core(bsp).read_tsc
+        )
+        self.machine.obs.metrics.counter(
+            metric_names.WORKLOAD_RUNS, "workload executions"
+        ).inc(workload=workload.name, config=label)
         from repro.hw.clock import CYCLES_PER_SECOND
 
         seconds = elapsed / CYCLES_PER_SECOND

@@ -4,6 +4,30 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite checked-in golden trace files instead of asserting"
+        " against them (use after an intentional instrumentation change)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    """Everything not explicitly marked ``slow`` is tier-1."""
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
 from repro.core.controller import CovirtController
 from repro.core.features import CovirtConfig
 from repro.harness.env import CovirtEnvironment, Layout

@@ -14,6 +14,8 @@ import pytest
 
 from repro.fuzz import FuzzEngine, FuzzRun, load_corpus, load_run, replay_run, save_run
 
+pytestmark = pytest.mark.slow
+
 CORPUS_DIR = Path(__file__).parent / "corpus"
 CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
 

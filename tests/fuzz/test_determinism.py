@@ -11,6 +11,8 @@ from repro.fuzz import FuzzEngine, OracleViolation, SCHEDULES, replay_run
 from repro.fuzz.engine import flatten_counters
 from repro.perf.trace import TraceKind
 
+pytestmark = pytest.mark.slow
+
 STEPS = 50
 
 

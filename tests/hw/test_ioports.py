@@ -1,0 +1,141 @@
+"""Dedicated tests for hw/ioports.py: port-range device registration,
+the I/O permission bitmap, and the end-to-end whitelist deny path
+(errant OUTs to host-owned ports vanish under Covirt).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.features import CovirtConfig, Feature
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.hw.ioports import (
+    HOST_OWNED_PORTS,
+    IoPortError,
+    IoPortSpace,
+    PCI_CONFIG_ADDR,
+    PCI_CONFIG_DATA,
+    PORT_SPACE_SIZE,
+    SERIAL_COM1,
+)
+from repro.vmx.io_bitmap import IoBitmap
+
+GiB = 1 << 30
+LAYOUT = Layout("1c/1n", {0: 1}, {0: GiB})
+
+
+class TestPortRangeRegistration:
+    def test_handler_registered_over_a_range(self):
+        space = IoPortSpace()
+        writes: list[tuple[int, int]] = []
+
+        def make_handler(port: int):
+            def handler(value: int, is_write: bool, core: int) -> int:
+                if is_write:
+                    writes.append((port, value))
+                return port & 0xFF
+
+            return handler
+
+        for port in range(0x1F0, 0x1F8):  # a classic 8-port device window
+            space.register_device(port, make_handler(port))
+        assert space.read(0x1F3) == 0xF3
+        space.write(0x1F0, 0xAB)
+        assert writes == [(0x1F0, 0xAB)]
+        # Neighbouring ports stay plain latches.
+        assert space.read(0x1F8) == 0xFF
+
+    def test_registration_outside_space_rejected(self):
+        space = IoPortSpace()
+        with pytest.raises(IoPortError):
+            space.register_device(PORT_SPACE_SIZE, lambda v, w, c: 0)
+
+    def test_handler_ports_bypass_the_latch(self):
+        space = IoPortSpace()
+        space.register_device(0x80, lambda v, w, c: 0x42)
+        space.write(0x80, 7)
+        assert space.peek(0x80) == 0xFF  # never latched
+        assert space.read(0x80) == 0x42
+
+    def test_reset_clears_latches_and_log(self):
+        space = IoPortSpace()
+        space.write(0x100, 5)
+        space.reset()
+        assert space.peek(0x100) == 0xFF
+        assert space.access_log == []
+
+
+class TestIoBitmap:
+    def test_traps_everything_by_default(self):
+        bitmap = IoBitmap(trap_by_default=True)
+        assert bitmap.should_exit(SERIAL_COM1)
+        assert bitmap.allowed_ports() == frozenset()
+
+    def test_allow_range(self):
+        bitmap = IoBitmap(trap_by_default=True)
+        bitmap.allow_range(0x3F8, 0x3FF)
+        assert not bitmap.should_exit(0x3FA)
+        assert bitmap.should_exit(0x3F7)
+        assert len(bitmap.allowed_ports()) == 8
+
+    def test_trap_overrides_allow(self):
+        bitmap = IoBitmap(trap_by_default=False)
+        bitmap.trap(PCI_CONFIG_ADDR)
+        assert bitmap.should_exit(PCI_CONFIG_ADDR)
+        assert not bitmap.should_exit(PCI_CONFIG_DATA)
+        bitmap.allow(PCI_CONFIG_ADDR)  # re-allowing un-traps
+        assert not bitmap.should_exit(PCI_CONFIG_ADDR)
+
+    def test_allow_all_never_exits(self):
+        bitmap = IoBitmap.allow_all()
+        assert not bitmap.should_exit(SERIAL_COM1)
+
+    def test_out_of_range_port_rejected(self):
+        bitmap = IoBitmap()
+        with pytest.raises(ValueError):
+            bitmap.should_exit(PORT_SPACE_SIZE)
+        with pytest.raises(ValueError):
+            bitmap.allow(-1)
+
+
+class TestWhitelistDenyPath:
+    """End to end: the VMX I/O bitmap closes the errant-OUT channel."""
+
+    @pytest.fixture
+    def env(self) -> CovirtEnvironment:
+        return CovirtEnvironment()
+
+    def test_denied_write_never_reaches_the_host_port(self, env):
+        enclave = env.launch(LAYOUT, CovirtConfig.full(), name="guest")
+        bsp = enclave.assignment.core_ids[0]
+        before = env.machine.ioports.peek(SERIAL_COM1)
+        enclave.port.io_out(bsp, SERIAL_COM1, 0x41)
+        assert env.machine.ioports.peek(SERIAL_COM1) == before
+        assert (bsp, SERIAL_COM1, 0x41, True) in enclave.virt_context.denied_io
+
+    def test_denied_read_floats_high(self, env):
+        enclave = env.launch(LAYOUT, CovirtConfig.full(), name="guest")
+        bsp = enclave.assignment.core_ids[0]
+        assert enclave.port.io_in(bsp, SERIAL_COM1) == 0xFF
+
+    def test_host_owned_ports_all_trapped_by_default(self, env):
+        enclave = env.launch(LAYOUT, CovirtConfig.full(), name="guest")
+        bitmap = enclave.virt_context.io_bitmap
+        assert all(bitmap.should_exit(p) for p in HOST_OWNED_PORTS)
+
+    def test_without_ioport_feature_writes_pass_through(self, env):
+        config = CovirtConfig(features=Feature.MEMORY)
+        enclave = env.launch(LAYOUT, config, name="guest")
+        bsp = enclave.assignment.core_ids[0]
+        enclave.port.io_out(bsp, 0x200, 0x7)  # unowned scratch port
+        assert env.machine.ioports.peek(0x200) == 0x7
+
+    def test_denied_access_counts_an_io_exit(self, env):
+        from repro.obs import metric_names
+
+        enclave = env.launch(LAYOUT, CovirtConfig.full(), name="guest")
+        bsp = enclave.assignment.core_ids[0]
+        enclave.port.io_out(bsp, SERIAL_COM1, 1)
+        exits = env.machine.obs.metrics.exit_counts_by_reason()
+        assert exits.get("io_instruction", 0) == 1
+        assert metric_names.EXITS in env.machine.obs.metrics

@@ -1,0 +1,104 @@
+"""Chrome-trace export and trace-schema tests (repro.obs.export/schema)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hw.clock import CYCLES_PER_US, Clock
+from repro.obs.export import TRACE_PID, chrome_trace, write_chrome_trace
+from repro.obs.schema import validate_chrome_trace
+from repro.obs.spans import SpanTracer
+
+
+@pytest.fixture
+def tracer() -> SpanTracer:
+    clock = Clock()
+    tracer = SpanTracer(clock)
+    with tracer.span("outer", category="scenario", track="scenario"):
+        clock.advance(3 * CYCLES_PER_US)
+        with tracer.span("exit", category="exit", track="core0", reason="cpuid"):
+            clock.advance(CYCLES_PER_US)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tracer):
+        doc = chrome_trace(tracer.spans)
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["clock"] == "simulated-cycles"
+        assert doc["otherData"]["cycles_per_us"] == CYCLES_PER_US
+
+    def test_metadata_announces_process_and_tracks(self, tracer):
+        events = chrome_trace(tracer.spans)["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "covirt-sim"
+        thread_names = {e["args"]["name"] for e in meta[1:]}
+        assert thread_names == {"scenario", "core0"}
+        assert all(e["pid"] == TRACE_PID for e in events)
+
+    def test_tids_stable_under_arrival_order(self, tracer):
+        events = chrome_trace(tracer.spans)["traceEvents"]
+        reversed_events = chrome_trace(list(reversed(tracer.spans)))[
+            "traceEvents"
+        ]
+        tid_of = lambda evs, name: next(
+            e["tid"] for e in evs if e.get("ph") == "X" and e["name"] == name
+        )
+        assert tid_of(events, "outer") == tid_of(reversed_events, "outer")
+
+    def test_timestamps_converted_to_microseconds(self, tracer):
+        events = chrome_trace(tracer.spans)["traceEvents"]
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "exit")
+        assert outer["ts"] == 0 and outer["dur"] == 4
+        assert inner["ts"] == 3 and inner["dur"] == 1
+
+    def test_span_args_and_cycles_exported(self, tracer):
+        events = chrome_trace(tracer.spans)["traceEvents"]
+        inner = next(e for e in events if e["name"] == "exit")
+        assert inner["args"]["reason"] == "cpuid"
+        assert inner["args"]["cycles"] == CYCLES_PER_US
+        assert inner["cat"] == "exit"
+
+    def test_open_spans_export_with_zero_duration(self):
+        tracer = SpanTracer(Clock())
+        tracer.begin("unclosed")
+        doc = chrome_trace(tracer.spans)
+        assert validate_chrome_trace(doc) == []
+        event = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert event["dur"] == 0
+
+    def test_write_round_trips_through_json(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(tracer.spans, str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count
+        assert validate_chrome_trace(doc) == []
+
+
+class TestChromeTraceValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_or_empty_events(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1}]}
+        assert any("ph" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_complete_event_without_timing(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 1}]}
+        problems = validate_chrome_trace(doc)
+        assert any("ts" in p for p in problems)
+
+    def test_requires_at_least_one_complete_event(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "M", "name": "process_name", "pid": 1, "args": {}}
+            ]
+        }
+        assert any("complete" in p for p in validate_chrome_trace(doc))

@@ -1,0 +1,145 @@
+"""Golden-trace regression tests.
+
+The canonical boot → probe → reconfigure → fault-containment →
+recovery → checkpoint → fuzz scenario is run under a fixed seed and its
+timestamp-free span transcript (nesting + track + name per span) is
+pinned against ``golden/canonical_trace.txt``.  Renaming or dropping an
+instrumented span — in the hypervisor exit path, the controller, the
+recovery supervisor, or the fuzz engine — fails here; cost-model
+changes (which only move timestamps) do not.
+
+After an *intentional* instrumentation change, regenerate with::
+
+    pytest tests/obs/test_golden_traces.py --update-golden
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import chrome_trace
+from repro.obs.schema import validate_chrome_trace
+from repro.obs.scenario import run_canonical_scenario
+
+GOLDEN = Path(__file__).parent / "golden" / "canonical_trace.txt"
+
+#: Exit-path spans the canonical scenario must always traverse; listed
+#: explicitly so a rename fails with a readable message even before the
+#: full-transcript diff below.
+REQUIRED_SPANS = {
+    "hv.launch",
+    "hv.dispatch.msr_write",
+    "hv.exit.msr_write",
+    "hv.dispatch.io_instruction",
+    "hv.exit.io_instruction",
+    "hv.dispatch.cpuid",
+    "hv.dispatch.xsetbv",
+    "hv.dispatch.apic_write",
+    "hv.dispatch.ept_violation",
+    "hv.exit.ept_violation",
+    "hv.exit.exception_or_nmi",
+    "hv.nmi",
+    "hv.drain",
+    "hv.terminate",
+    "controller.launch",
+    "controller.command.ping",
+    "controller.command.memory_update",
+    "controller.fault",
+    "recovery.detected",
+    "recovery.recover",
+    "recovery.scrub",
+    "recovery.relaunch",
+    "recovery.replay",
+    "recovery.checkpoint",
+}
+
+
+@pytest.fixture(scope="module")
+def canonical_env():
+    return run_canonical_scenario()
+
+
+@pytest.fixture(scope="module")
+def tracer(canonical_env):
+    return canonical_env.machine.obs.tracer
+
+
+class TestGoldenTranscript:
+    def test_matches_checked_in_golden(self, tracer, update_golden):
+        transcript = "\n".join(tracer.golden_lines()) + "\n"
+        if update_golden:
+            GOLDEN.write_text(transcript)
+        assert transcript == GOLDEN.read_text(), (
+            "span transcript diverged from tests/obs/golden/"
+            "canonical_trace.txt — if the instrumentation change is"
+            " intentional, rerun with --update-golden"
+        )
+
+    def test_every_exit_path_span_present(self, tracer):
+        names = set(tracer.names())
+        missing = REQUIRED_SPANS - names
+        assert not missing, f"instrumented spans missing: {sorted(missing)}"
+
+    def test_fault_containment_nests_under_the_exit(self, tracer):
+        """The recovery story the paper tells: termination and recovery
+        are *descendants* of the EPT-violation dispatch."""
+        lines = tracer.golden_lines()
+        dispatch = next(
+            i for i, l in enumerate(lines) if "hv.dispatch.ept_violation" in l
+        )
+        recover = next(i for i, l in enumerate(lines) if "recovery.recover" in l)
+        assert recover > dispatch
+        dispatch_depth = (len(lines[dispatch]) - len(lines[dispatch].lstrip())) // 2
+        recover_depth = (len(lines[recover]) - len(lines[recover].lstrip())) // 2
+        assert recover_depth > dispatch_depth
+
+    def test_a_dropped_span_would_fail(self, tracer):
+        """Self-check of the mechanism: removing any one line no longer
+        matches the golden file."""
+        lines = tracer.golden_lines()
+        mutated = "\n".join(lines[1:]) + "\n"
+        assert mutated != GOLDEN.read_text()
+
+
+class TestDeterminism:
+    def test_two_same_seed_runs_identical(self, tracer):
+        second = run_canonical_scenario()
+        key = lambda t: [
+            (s.name, s.track, s.depth, s.start, s.end) for s in t.spans
+        ]
+        assert key(second.machine.obs.tracer) == key(tracer)
+
+    def test_metrics_identical_across_runs(self, canonical_env):
+        import json
+
+        second = run_canonical_scenario()
+        dump = lambda env: json.dumps(
+            env.machine.obs.metrics.to_dict(), sort_keys=True
+        )
+        assert dump(second) == dump(canonical_env)
+
+    def test_timestamps_are_simulated_cycles_not_wall_clock(self, tracer):
+        for span in tracer.spans:
+            assert isinstance(span.start, int) and span.start >= 0
+            assert span.end is None or isinstance(span.end, int)
+        # Wall-clock (ns since epoch) would dwarf any simulated extent.
+        assert max(s.start for s in tracer.spans) < 10**15
+
+    def test_all_spans_closed_and_capacity_untouched(self, tracer):
+        assert tracer.open_depth == 0
+        assert tracer.dropped == 0
+        assert all(span.closed for span in tracer.spans)
+
+
+class TestExportOfCanonicalRun:
+    def test_canonical_trace_exports_as_valid_chrome_trace(self, tracer):
+        doc = chrome_trace(tracer.spans)
+        assert validate_chrome_trace(doc) == []
+        tracks = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {"scenario", "controller", "recovery", "fuzz"} <= tracks

@@ -1,0 +1,158 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metric_names
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_CYCLE_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_get_by_labels(self, registry):
+        c = registry.counter("covirt.exits")
+        c.inc(reason="ept_violation", core=0)
+        c.inc(2, reason="ept_violation", core=0)
+        c.inc(reason="cpuid", core=1)
+        assert c.get(reason="ept_violation", core=0) == 3
+        assert c.get(reason="cpuid", core=1) == 1
+        assert c.get(reason="missing") == 0
+        assert c.total() == 4
+
+    def test_label_order_is_irrelevant(self, registry):
+        c = registry.counter("c")
+        c.inc(a=1, b=2)
+        assert c.get(b=2, a=1) == 1
+
+    def test_sum_by_collapses_one_dimension(self, registry):
+        c = registry.counter("c")
+        c.inc(3, reason="x", core=0)
+        c.inc(4, reason="x", core=1)
+        c.inc(5, reason="y", core=0)
+        assert c.sum_by("reason") == {"x": 7, "y": 5}
+
+    def test_counters_never_decrease(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self, registry):
+        g = registry.gauge("g")
+        g.set(10, zone=0)
+        g.set(20, zone=0)
+        assert g.get(zone=0) == 20
+
+
+class TestHistogram:
+    def test_bucket_placement(self, registry):
+        h = registry.histogram("h", buckets=(10, 100, 1000))
+        h.observe(5)      # <= 10
+        h.observe(10)     # bisect_left: still the first bucket
+        h.observe(500)
+        h.observe(10**6)  # +Inf overflow bucket
+        (_labels, stats), = h.samples()
+        assert stats["counts"] == [2, 0, 1, 1]
+        assert stats["count"] == 4
+        assert stats["sum"] == 5 + 10 + 500 + 10**6
+
+    def test_counts_has_bounds_plus_one_entries(self, registry):
+        h = registry.histogram("h")
+        h.observe(1)
+        (_labels, stats), = h.samples()
+        assert len(stats["counts"]) == len(DEFAULT_CYCLE_BUCKETS) + 1
+
+    def test_mean_and_per_label_counts(self, registry):
+        h = registry.histogram("h", buckets=(100,))
+        h.observe(10, kind="a")
+        h.observe(30, kind="a")
+        h.observe(1000, kind="b")
+        assert h.count(kind="a") == 2
+        assert h.mean(kind="a") == 20
+        assert h.total_count() == 3
+        assert h.mean(kind="missing") == 0.0
+
+    def test_empty_buckets_fall_back_to_defaults(self):
+        h = Histogram("h", buckets=())
+        assert h.bounds == tuple(sorted(DEFAULT_CYCLE_BUCKETS))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+        assert "c" in registry and len(registry) == 1
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("name")
+        with pytest.raises(TypeError):
+            registry.gauge("name")
+        with pytest.raises(TypeError):
+            registry.histogram("name")
+
+    def test_get_unknown_returns_none(self, registry):
+        assert registry.get("nope") is None
+
+    def test_exit_counts_by_reason(self, registry):
+        c = registry.counter(metric_names.EXITS)
+        c.inc(reason="ept_violation", core=0)
+        c.inc(reason="ept_violation", core=1)
+        c.inc(reason="cpuid", core=0)
+        assert registry.exit_counts_by_reason() == {
+            "cpuid": 1,
+            "ept_violation": 2,
+        }
+
+    def test_exit_counts_empty_without_metric(self, registry):
+        assert registry.exit_counts_by_reason() == {}
+
+
+class TestRendering:
+    def _populate(self, registry: MetricsRegistry) -> None:
+        registry.counter("b.counter", "help text").inc(5, reason="x")
+        registry.gauge("a.gauge").set(3)
+        registry.histogram("c.hist", buckets=(10, 100)).observe(50, kind="k")
+
+    def test_to_dict_is_json_ready_and_sectioned(self, registry):
+        self._populate(registry)
+        doc = registry.to_dict()
+        json.dumps(doc)  # must not raise
+        assert set(doc) == {"counters", "gauges", "histograms"}
+        assert doc["counters"]["b.counter"]["samples"] == [
+            {"labels": {"reason": "x"}, "value": 5}
+        ]
+        hist = doc["histograms"]["c.hist"]
+        assert hist["bounds"] == [10, 100]
+        assert hist["samples"][0]["counts"] == [0, 1, 0]
+
+    def test_to_dict_deterministic_across_insertion_orders(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("one").inc(x=1)
+        a.counter("two").inc(y=2)
+        b.counter("two").inc(y=2)
+        b.counter("one").inc(x=1)
+        assert json.dumps(a.to_dict(), sort_keys=True) == json.dumps(
+            b.to_dict(), sort_keys=True
+        )
+
+    def test_render_text_mentions_every_metric(self, registry):
+        self._populate(registry)
+        text = registry.render_text()
+        for name in ("a.gauge", "b.counter", "c.hist"):
+            assert name in text
+        assert "count=1" in text  # histogram line
+
+    def test_render_text_empty_registry(self, registry):
+        assert "no metrics" in registry.render_text()

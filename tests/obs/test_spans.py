@@ -1,0 +1,153 @@
+"""Unit tests for the span tracer (repro.obs.spans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.obs.spans import Span, SpanTracer
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def tracer(clock: Clock) -> SpanTracer:
+    return SpanTracer(clock)
+
+
+class TestNesting:
+    def test_begin_end_records_interval(self, tracer, clock):
+        span = tracer.begin("outer")
+        clock.advance(100)
+        tracer.end(span)
+        assert span.start == 0 and span.end == 100
+        assert span.duration == 100
+        assert span.closed
+
+    def test_children_nest_under_open_span(self, tracer, clock):
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1 and outer.depth == 0
+        tracer.end(inner)
+        tracer.end(outer)
+        assert tracer.open_depth == 0
+
+    def test_context_manager(self, tracer, clock):
+        with tracer.span("outer"):
+            clock.advance(10)
+            with tracer.span("inner"):
+                clock.advance(5)
+        assert tracer.names() == ["outer", "inner"]
+        outer, inner = tracer.spans
+        assert outer.end == 15 and inner.start == 10
+
+    def test_dangling_children_closed_defensively(self, tracer, clock):
+        outer = tracer.begin("outer")
+        tracer.begin("leaked")
+        clock.advance(50)
+        tracer.end(outer)  # closes "leaked" too
+        assert all(span.closed for span in tracer.spans)
+        assert tracer.open_depth == 0
+
+    def test_complete_records_as_child_of_open_span(self, tracer):
+        outer = tracer.begin("outer")
+        done = tracer.complete("pre-timed", 10, 30)
+        assert done.parent_id == outer.span_id
+        assert done.depth == 1
+        assert (done.start, done.end) == (10, 30)
+        tracer.end(outer)
+
+    def test_complete_clamps_inverted_interval(self, tracer):
+        span = tracer.complete("odd", 30, 10)
+        assert span.end == span.start == 30
+
+    def test_instant_is_zero_duration(self, tracer, clock):
+        clock.advance(7)
+        span = tracer.instant("marker")
+        assert span.start == span.end == 7
+        assert span.duration == 0
+
+
+class TestTimestamps:
+    def test_now_accepts_literal_and_callable(self, tracer, clock):
+        tsc = 1000
+
+        span = tracer.begin("core-timed", now=lambda: tsc)
+        tsc = 1200
+        tracer.end(span, now=lambda: tsc)
+        assert (span.start, span.end) == (1000, 1200)
+        literal = tracer.begin("literal", now=5)
+        tracer.end(literal, now=9)
+        assert (literal.start, literal.end) == (5, 9)
+
+    def test_end_never_precedes_start(self, tracer, clock):
+        span = tracer.begin("s", now=100)
+        tracer.end(span, now=50)  # e.g. ended on a core behind the opener
+        assert span.end == span.start == 100
+
+    def test_default_timestamps_come_from_clock(self, tracer, clock):
+        clock.advance(42)
+        span = tracer.begin("s")
+        assert span.start == 42
+
+
+class TestGoldenLines:
+    def test_format_is_indent_track_name(self, tracer, clock):
+        with tracer.span("outer", track="scenario"):
+            with tracer.span("inner", track="core0"):
+                pass
+        assert tracer.golden_lines() == [
+            "[scenario] outer",
+            "  [core0] inner",
+        ]
+
+    def test_no_timestamps_leak_into_golden_lines(self, tracer, clock):
+        clock.advance(123456)
+        with tracer.span("s", track="t"):
+            clock.advance(999)
+        assert tracer.golden_lines() == ["[t] s"]
+
+
+class TestCapacityAndClear:
+    def test_capacity_bounds_retention(self, clock):
+        tracer = SpanTracer(clock, capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+
+    def test_zero_capacity_rejected(self, clock):
+        with pytest.raises(ValueError):
+            SpanTracer(clock, capacity=0)
+
+    def test_clear_keeps_open_spans(self, tracer, clock):
+        open_span = tracer.begin("still-open")
+        with tracer.span("done"):
+            pass
+        tracer.clear()
+        assert tracer.spans == [open_span]
+        assert tracer.dropped == 0
+        tracer.end(open_span)
+
+    def test_args_captured_and_mutable_until_export(self, tracer):
+        with tracer.span("s", step=3) as span:
+            span.args["outcome"] = "ok"
+        assert tracer.spans[0].args == {"step": 3, "outcome": "ok"}
+
+    def test_render_includes_timestamps(self, tracer, clock):
+        with tracer.span("named"):
+            clock.advance(10)
+        rendered = tracer.render()
+        assert "named" in rendered and "10" in rendered
+
+
+class TestSpanDataclass:
+    def test_open_span_duration_zero(self):
+        span = Span(0, None, 0, "s", "", "main", start=5)
+        assert span.duration == 0
+        assert not span.closed

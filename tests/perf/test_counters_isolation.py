@@ -1,0 +1,97 @@
+"""Regression: all performance/observability state is instance-scoped.
+
+Two environments driven *interleaved* must never cross-contaminate —
+not PerfCounters on the hypervisors, not the per-machine metrics
+registry, not the span tracer.  A module-global anywhere in
+``perf/counters.py`` or ``repro.obs`` would fail here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.features import CovirtConfig
+from repro.harness.env import CovirtEnvironment, Layout
+from repro.hw.ioports import SERIAL_COM1
+from repro.obs import metric_names
+from repro.obs.scenario import protection_probe
+from repro.perf.counters import PerfCounters
+
+GiB = 1 << 30
+LAYOUT = Layout("1c/1n", {0: 1}, {0: GiB})
+
+
+@pytest.fixture
+def pair():
+    return CovirtEnvironment(), CovirtEnvironment()
+
+
+class TestPerfCountersScoping:
+    def test_fresh_instances_share_nothing(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.record_exit("cpuid", 100)
+        a.exits["cpuid"] += 1  # even the Counter mapping must be per-instance
+        assert b.total_exits == 0
+        assert b.cycles_in_vmm == 0
+        assert a.exits is not b.exits
+
+    def test_merge_does_not_alias(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.record_exit("cpuid", 100)
+        merged = a.merge(b)
+        merged.exits["cpuid"] += 10
+        assert a.exits["cpuid"] == 1
+
+
+class TestInterleavedMachines:
+    def test_interleaved_exits_stay_per_machine(self, pair):
+        env_a, env_b = pair
+        enclave_a = env_a.launch(LAYOUT, CovirtConfig.full(), name="a")
+        enclave_b = env_b.launch(LAYOUT, CovirtConfig.full(), name="b")
+        core_a = enclave_a.assignment.core_ids[0]
+        core_b = enclave_b.assignment.core_ids[0]
+        # Interleave: A, B, A, B, ... with different exit mixes.
+        for _ in range(3):
+            enclave_a.port.cpuid(core_a, 0)
+            enclave_b.port.io_in(core_b, SERIAL_COM1)
+        enclave_a.port.cpuid(core_a, 0)
+
+        exits_a = env_a.machine.obs.metrics.exit_counts_by_reason()
+        exits_b = env_b.machine.obs.metrics.exit_counts_by_reason()
+        assert exits_a == {"cpuid": 4}
+        assert exits_b == {"io_instruction": 3}
+
+        counters_a = enclave_a.virt_context.aggregate_counters()
+        counters_b = enclave_b.virt_context.aggregate_counters()
+        assert counters_a.exits == {"cpuid": 4}
+        assert counters_b.exits == {"io_instruction": 3}
+
+    def test_interleaved_probe_and_idle_machine(self, pair):
+        env_a, env_b = pair
+        enclave_a = env_a.launch(LAYOUT, CovirtConfig.full(), name="a")
+        protection_probe(env_a, enclave_a)
+        # B never ran anything: its registry and tracer must be silent.
+        assert env_b.machine.obs.metrics.exit_counts_by_reason() == {}
+        assert len(env_b.machine.obs.tracer) == 0
+        assert env_a.machine.obs.metrics.exit_counts_by_reason() != {}
+
+    def test_span_streams_do_not_interleave(self, pair):
+        env_a, env_b = pair
+        enclave_a = env_a.launch(LAYOUT, CovirtConfig.full(), name="a")
+        enclave_b = env_b.launch(LAYOUT, CovirtConfig.full(), name="b")
+        protection_probe(env_a, enclave_a)
+        protection_probe(env_b, enclave_b)
+        names_a = env_a.machine.obs.tracer.names()
+        names_b = env_b.machine.obs.tracer.names()
+        assert names_a == names_b  # same deterministic activity...
+        spans_a = set(map(id, env_a.machine.obs.tracer.spans))
+        spans_b = set(map(id, env_b.machine.obs.tracer.spans))
+        assert not spans_a & spans_b  # ...recorded in disjoint tracers
+
+    def test_metric_objects_are_per_registry(self, pair):
+        env_a, env_b = pair
+        counter_a = env_a.machine.obs.metrics.counter(metric_names.EXITS)
+        counter_b = env_b.machine.obs.metrics.counter(metric_names.EXITS)
+        assert counter_a is not counter_b
+        counter_a.inc(reason="cpuid")
+        assert counter_b.total() == 0

@@ -10,6 +10,7 @@ or reorder commands, and whitelists are exact.
 from __future__ import annotations
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core.commands import CommandQueue, CommandType
@@ -19,6 +20,8 @@ from repro.hw.apic import IpiMessage
 from repro.hw.memory import PAGE_SIZE, IntervalMap, PhysicalMemory
 from repro.kitten.memmap import GuestMemoryMap, MemoryMapError
 from repro.vmx.ept import EptError, ExtendedPageTable, EptViolationInfo
+
+pytestmark = pytest.mark.slow
 
 PAGES = 64  # work in a small 64-page universe for tractable examples
 

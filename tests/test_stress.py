@@ -26,6 +26,8 @@ from repro.pisces.enclave import Enclave, EnclaveState
 from repro.pisces.kmod import PiscesError
 from repro.hw.memory import OwnershipError
 
+pytestmark = pytest.mark.slow
+
 GiB = 1 << 30
 MiB = 1 << 20
 
