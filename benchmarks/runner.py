@@ -271,11 +271,16 @@ SCENARIOS: dict[str, tuple[str, Callable]] = {
 
 
 def run_scenario(
-    name: str, quick: bool, seed: int = DEFAULT_SEED
+    name: str, quick: bool, seed: int = DEFAULT_SEED, costs: Any = None
 ) -> dict[str, Any]:
-    """Run one scenario on a fresh environment; return its BENCH doc."""
+    """Run one scenario on a fresh environment; return its BENCH doc.
+
+    ``costs`` overrides the environment's :class:`CostModel` — the
+    regression-sentinel tests use a perturbed model to prove
+    ``bench-compare`` actually trips on drift.
+    """
     title, fn = SCENARIOS[name]
-    env = CovirtEnvironment()
+    env = CovirtEnvironment() if costs is None else CovirtEnvironment(costs=costs)
     results = fn(env, quick)
     registry = env.machine.obs.metrics
     return {

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Perf-regression sentinel, executable form.
+
+Thin wrapper over :mod:`repro.obs.sentinel` so CI (and developers who
+live in ``benchmarks/``) can run the comparison without the package
+entry point::
+
+    PYTHONPATH=src python benchmarks/sentinel.py BASELINE_DIR CANDIDATE_DIR \
+        [--tolerances benchmarks/tolerances.json] [--out report.md]
+
+Exit status: 0 in-tolerance, 1 regression, 2 usage/configuration error.
+The same logic backs ``python -m repro bench-compare``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import bench_compare_main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(bench_compare_main(sys.argv[1:]))

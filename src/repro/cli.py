@@ -197,7 +197,9 @@ def run_trace_export(args) -> int:
     from repro.obs.export import chrome_trace
     from repro.obs.scenario import run_canonical_scenario
 
-    env = run_canonical_scenario(seed=args.seed)
+    env = run_canonical_scenario(
+        seed=args.seed, postmortem_dir=args.postmortem_dir
+    )
     tracer = env.machine.obs.tracer
     if args.golden:
         for line in tracer.golden_lines():
@@ -214,7 +216,78 @@ def run_trace_export(args) -> int:
         f"[wrote {args.out}: {events} events, {len(tracer.spans)} spans"
         f" ({tracer.dropped} dropped)]"
     )
+    for path in env.machine.obs.flight.dumped_paths:
+        print(f"[wrote post-mortem {path}]")
     return 0
+
+
+def run_trace_analyze(args) -> int:
+    """Analyze an exported trace: critical paths, exit attribution,
+    rollups — or a structural diff between two traces."""
+    from repro.obs.analyze import (
+        diff_traces,
+        load_trace,
+        render_diff,
+        render_report,
+    )
+
+    model = load_trace(args.trace)
+    if args.diff is not None:
+        other = load_trace(args.diff)
+        diff = diff_traces(model, other, threshold=args.threshold)
+        print(
+            render_diff(diff, source_a=args.trace, source_b=args.diff),
+            end="",
+        )
+        return 1 if (args.fail_on_diff and not diff.empty) else 0
+    print(render_report(model, source=args.trace, top_k=args.top_k), end="")
+    return 0
+
+
+def bench_compare_main(argv: list[str] | None = None) -> int:
+    """The ``bench-compare`` entry point (also used by
+    ``benchmarks/sentinel.py``): compare two BENCH_*.json sets against
+    the tolerance bands; exit 1 on regression."""
+    import argparse as _argparse
+
+    from repro.obs.sentinel import (
+        ToleranceError,
+        compare_sets,
+        load_tolerances,
+        render_markdown,
+    )
+
+    parser = _argparse.ArgumentParser(
+        prog="bench-compare",
+        description="Compare two BENCH_*.json sets against tolerance bands.",
+    )
+    parser.add_argument("baseline", help="directory with baseline BENCH_*.json")
+    parser.add_argument("candidate", help="directory with candidate BENCH_*.json")
+    parser.add_argument(
+        "--tolerances",
+        default="benchmarks/tolerances.json",
+        help="tolerance-band config (default: benchmarks/tolerances.json)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the markdown report to FILE",
+    )
+    args = parser.parse_args(argv)
+    try:
+        tolerances = load_tolerances(args.tolerances)
+    except (OSError, ValueError) as exc:
+        print(f"bench-compare: bad tolerances: {exc}", file=sys.stderr)
+        return 2
+    report = compare_sets(args.baseline, args.candidate, tolerances)
+    rendered = render_markdown(
+        report, baseline_label=args.baseline, candidate_label=args.candidate
+    )
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(rendered)
+    print(rendered, end="")
+    return 0 if report.ok else 1
 
 
 def run_metrics_dump(args) -> int:
@@ -395,6 +468,44 @@ def main(argv: list[str] | None = None) -> int:
         help="print the timestamp-free golden transcript instead of "
         "writing a trace file",
     )
+    trace.add_argument(
+        "--postmortem-dir",
+        metavar="DIR",
+        default=None,
+        help="write the run's post-mortem bundles (the containment fault"
+        " produces one) into DIR as sorted-key JSON",
+    )
+    tana = sub.add_parser(
+        "trace-analyze",
+        help="critical paths, exit-latency attribution, and rollups for "
+        "an exported trace; --diff compares two traces structurally",
+    )
+    tana.add_argument(
+        "trace", help="Chrome-trace JSON (trace-export) or golden transcript"
+    )
+    tana.add_argument(
+        "--diff", metavar="TRACE", default=None,
+        help="second trace: report added/removed/retimed span paths",
+    )
+    tana.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative retiming threshold for --diff (default 0.05)",
+    )
+    tana.add_argument(
+        "--top-k", type=int, default=10,
+        help="rows in the exit-attribution table (default 10)",
+    )
+    tana.add_argument(
+        "--fail-on-diff", action="store_true",
+        help="exit 1 when --diff finds any structural difference",
+    )
+    bcmp = sub.add_parser(
+        "bench-compare",
+        help="compare two BENCH_*.json sets against tolerance bands "
+        "(benchmarks/tolerances.json); exit 1 on regression",
+        add_help=False,
+    )
+    bcmp.add_argument("rest", nargs=argparse.REMAINDER)
     mdump = sub.add_parser(
         "metrics-dump",
         help="run the canonical demo scenario, dump the metrics registry",
@@ -458,6 +569,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "trace-export":
         return run_trace_export(args)
+    if args.command == "trace-analyze":
+        return run_trace_analyze(args)
+    if args.command == "bench-compare":
+        return bench_compare_main(args.rest)
     if args.command == "metrics-dump":
         return run_metrics_dump(args)
     if args.command == "bench-validate":

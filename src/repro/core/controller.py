@@ -148,6 +148,47 @@ class CovirtController:
         mcp.vectors.on_grant.append(self._on_vector_grant)
         mcp.vectors.on_revoke.append(self._on_vector_revoke)
         mcp.covirt_controller = self
+        # Flight recorder: the controller owns the enclave/EPT/whitelist
+        # view, so it contributes the "covirt" section of every
+        # post-mortem bundle.
+        self.machine.obs.flight.register_context("covirt", self.flight_summary)
+
+    def flight_summary(self) -> dict:
+        """Deterministic enclave/EPT/whitelist/queue summary for
+        post-mortem bundles (must never mutate simulation state)."""
+        enclaves = {}
+        for eid in sorted(self.contexts):
+            ctx = self.contexts[eid]
+            enclaves[str(eid)] = {
+                "name": ctx.enclave.name,
+                "state": ctx.enclave.state.value,
+                "features": ctx.config.features.value,
+                "cores": sorted(ctx.enclave.assignment.core_ids),
+                "ept_mapped_bytes": ctx.ept.mapped_bytes if ctx.ept else 0,
+                "whitelist_pairs": (
+                    sorted(ctx.whitelist.allowed_pairs())
+                    if ctx.whitelist is not None
+                    else []
+                ),
+                "pending_commands": {
+                    str(core_id): [
+                        cmd.type.name
+                        for cmd in ctx.queues[core_id].snapshot_pending()
+                    ]
+                    for core_id in sorted(ctx.queues)
+                },
+                "terminated_cores": sorted(
+                    core_id
+                    for core_id, hv in ctx.hypervisors.items()
+                    if hv.terminated
+                ),
+            }
+        return {
+            "enclaves": enclaves,
+            "faults_logged": len(self.fault_log),
+            "config_updates": len(self.config_log),
+            "dossiers": sorted(str(eid) for eid in self.dossiers),
+        }
 
     def interpose_on(self, framework) -> None:
         """Interpose Covirt on a co-kernel framework.
@@ -429,6 +470,16 @@ class CovirtController:
                     hv.terminated = True
                 # The state a developer gets instead of a dead node.
                 self.dossiers[fault.enclave_id] = FaultDossier.collect(ctx, fault)
+            # Containment post-mortem: ring tail + metrics + state
+            # summary, frozen while the dead enclave's context and
+            # dossier are still in hand.
+            self.machine.obs.flight.postmortem(
+                "containment",
+                fault.detail,
+                kind=fault.kind.value,
+                enclave=fault.enclave_id,
+                core=fault.core_id,
+            )
             self._route_termination(fault)
             # Only after routing: by now the enclave's resources are back in
             # the host pool, which is the state recovery needs to start from.

@@ -113,6 +113,7 @@ class CovirtHypervisor:
             tsc,
             category="exit",
             track=self.track,
+            enclave=self.ctx.enclave.enclave_id,
         )
         metrics = self.obs.metrics
         metrics.counter(
@@ -255,6 +256,15 @@ class CovirtHypervisor:
         if self.terminated:
             return
         self.terminated = True
+        # Mark the containment event in the flight-recorder ring before
+        # the fault fans out (the controller snapshots the post-mortem
+        # once the dossier exists).
+        self.obs.flight.note(
+            "containment",
+            f"core {self.core.core_id} terminated enclave "
+            f"{self.ctx.enclave.enclave_id}: {fault.detail}",
+            fault_kind=fault.kind.value,
+        )
         with self.obs.tracer.span(
             "hv.terminate",
             category="hv",

@@ -64,17 +64,29 @@ class OraclePack:
 
     def check_all(self) -> list[str]:
         """Run every oracle; returns the names checked.  Raises
-        :class:`OracleViolation` on the first failure."""
+        :class:`OracleViolation` on the first failure (after snapshotting
+        a flight-recorder post-mortem — a broken machine-wide invariant
+        is exactly the state a post-fault diagnosis needs frozen)."""
         names = []
         for name, check in self._oracles():
             try:
                 check(self.env)
-            except OracleViolation:
+            except OracleViolation as violation:
+                self._postmortem(violation)
                 raise
             except AssertionError as exc:
-                raise OracleViolation(name, str(exc)) from exc
+                violation = OracleViolation(name, str(exc))
+                self._postmortem(violation)
+                raise violation from exc
             names.append(name)
         return names
+
+    def _postmortem(self, violation: OracleViolation) -> None:
+        self.env.machine.obs.flight.postmortem(
+            "oracle",
+            violation.detail,
+            oracle=violation.oracle,
+        )
 
     def _oracles(self):
         return [

@@ -80,7 +80,7 @@ class CovirtEnvironment:
     ) -> None:
         self.machine = Machine(machine_config or MachineConfig.paper_testbed())
         self.host = LinuxHost(self.machine)
-        self.mcp = MasterControlProcess(self.machine, self.host)
+        self.mcp = MasterControlProcess(self.machine, self.host, costs=costs)
         self.controller = CovirtController(
             self.mcp, costs=costs, synchronous_updates=synchronous_updates
         )

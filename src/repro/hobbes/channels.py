@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.hw.apic import DeliveryMode
+from repro.obs import metric_names
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hobbes.registry import VectorGrant
@@ -65,22 +66,43 @@ class CommandChannel:
                 f"channel to enclave {self.enclave.enclave_id} is closed"
             )
 
+    def _note_msg(self, direction: str, kind: str) -> None:
+        """Count one channel message (passive — never advances time)."""
+        self.machine.obs.metrics.counter(
+            metric_names.HOBBES_MSGS, "Hobbes command-channel messages"
+        ).inc(
+            direction=direction,
+            kind=kind,
+            enclave=self.enclave.enclave_id,
+        )
+
     # -- host side -------------------------------------------------------
 
     def host_send(self, kind: str, payload: Any) -> None:
         """MCP → enclave, with an IPI doorbell into the enclave."""
         self._require_open()
-        self._to_enclave.append(ChannelMessage(self._next_seq(), kind, payload))
-        # The doorbell is a real IPI from a host core: it traverses the
-        # fabric and, on a Covirt enclave, the virtualization layer.
-        apic = self.machine.core(self.host_core).apic
-        assert apic is not None
-        apic.write_icr(
-            self.to_enclave_grant.dest_core,
-            self.to_enclave_grant.vector,
-            DeliveryMode.FIXED,
-        )
-        self.doorbells_sent += 1
+        with self.machine.obs.tracer.span(
+            "hobbes.cmd",
+            category="hobbes",
+            track="hobbes",
+            direction="to_enclave",
+            kind=kind,
+            enclave=self.enclave.enclave_id,
+        ):
+            self._to_enclave.append(
+                ChannelMessage(self._next_seq(), kind, payload)
+            )
+            # The doorbell is a real IPI from a host core: it traverses the
+            # fabric and, on a Covirt enclave, the virtualization layer.
+            apic = self.machine.core(self.host_core).apic
+            assert apic is not None
+            apic.write_icr(
+                self.to_enclave_grant.dest_core,
+                self.to_enclave_grant.vector,
+                DeliveryMode.FIXED,
+            )
+            self.doorbells_sent += 1
+            self._note_msg("to_enclave", kind)
 
     def host_recv(self) -> ChannelMessage | None:
         return self._to_host.popleft() if self._to_host else None
@@ -91,13 +113,24 @@ class CommandChannel:
         """Enclave → MCP; the doorbell goes through the enclave's port so
         Covirt's IPI filtering applies to it."""
         self._require_open()
-        self._to_host.append(ChannelMessage(self._next_seq(), kind, payload))
-        assert self.enclave.port is not None
-        src_core = self.enclave.assignment.core_ids[0]
-        self.enclave.port.send_ipi(
-            src_core, self.to_host_grant.dest_core, self.to_host_grant.vector
-        )
-        self.doorbells_sent += 1
+        with self.machine.obs.tracer.span(
+            "hobbes.cmd",
+            category="hobbes",
+            track="hobbes",
+            direction="to_host",
+            kind=kind,
+            enclave=self.enclave.enclave_id,
+        ):
+            self._to_host.append(
+                ChannelMessage(self._next_seq(), kind, payload)
+            )
+            assert self.enclave.port is not None
+            src_core = self.enclave.assignment.core_ids[0]
+            self.enclave.port.send_ipi(
+                src_core, self.to_host_grant.dest_core, self.to_host_grant.vector
+            )
+            self.doorbells_sent += 1
+            self._note_msg("to_host", kind)
 
     def enclave_recv(self) -> ChannelMessage | None:
         return self._to_enclave.popleft() if self._to_enclave else None

@@ -23,6 +23,7 @@ from repro.hobbes.registry import VectorAllocator
 from repro.hw.machine import Machine
 from repro.kitten.syscalls import SyscallError
 from repro.linuxhost.host import LinuxHost
+from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.pisces.enclave import Enclave, EnclaveState, FaultRecord
 from repro.pisces.kmod import PiscesKmod
 from repro.pisces.resources import ResourceSpec
@@ -42,12 +43,17 @@ class DependentNotification:
 class MasterControlProcess:
     """The Hobbes MCP."""
 
-    def __init__(self, machine: Machine, host: LinuxHost) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        host: LinuxHost,
+        costs: CostModel = DEFAULT_COSTS,
+    ) -> None:
         self.machine = machine
         self.host = host
         self.kmod = PiscesKmod(machine, host)
         self.vectors = VectorAllocator()
-        self.xemem = XememService(machine, self._resolve_enclave)
+        self.xemem = XememService(machine, self._resolve_enclave, costs=costs)
         self.forwarder = SyscallForwarder()
         self.channels: dict[int, CommandChannel] = {}
         self.notifications: list[DependentNotification] = []

@@ -18,6 +18,11 @@ from typing import TYPE_CHECKING
 
 from repro.obs import metrics as metric_names
 from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.flight import (
+    FlightRecorder,
+    POSTMORTEM_SCHEMA_NAME,
+    POSTMORTEM_SCHEMA_VERSION,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,6 +34,7 @@ from repro.obs.schema import (
     BENCH_SCHEMA_VERSION,
     validate_bench,
     validate_chrome_trace,
+    validate_postmortem,
 )
 from repro.obs.spans import Span, SpanTracer
 
@@ -37,32 +43,47 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Observability:
-    """Per-machine bundle: span tracer + metrics registry."""
+    """Per-machine bundle: span tracer + metrics registry + flight
+    recorder (the always-on ring feeding post-mortem dumps)."""
 
     def __init__(self, clock: "Clock") -> None:
         self.tracer = SpanTracer(clock)
         self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(clock)
+        self._wire_flight()
+
+    def _wire_flight(self) -> None:
+        self.flight.metrics = self.metrics
+        self.tracer.on_close.append(self.flight.record_span)
+        self.metrics.hooks.append(self.flight.record_metric)
 
     def reset(self) -> None:
         """Forget everything recorded so far (used between benchmark
         scenarios sharing one environment)."""
         self.tracer.clear()
+        self.tracer.on_close = []
         self.metrics = MetricsRegistry()
+        self.flight.clear()
+        self._wire_flight()
 
 
 __all__ = [
     "BENCH_SCHEMA_NAME",
     "BENCH_SCHEMA_VERSION",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "POSTMORTEM_SCHEMA_NAME",
+    "POSTMORTEM_SCHEMA_VERSION",
     "Span",
     "SpanTracer",
     "chrome_trace",
     "metric_names",
     "validate_bench",
     "validate_chrome_trace",
+    "validate_postmortem",
     "write_chrome_trace",
 ]

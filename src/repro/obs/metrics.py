@@ -43,6 +43,14 @@ CHECKPOINT_BYTES = "recovery.checkpoint_bytes"
 FUZZ_STEPS = "fuzz.steps"
 #: Workload executions, by ``workload`` and ``config``.
 WORKLOAD_RUNS = "workload.runs"
+#: XEMEM control-path operations, by ``op`` (grant | attach | detach | ...).
+XEMEM_OPS = "xemem.ops"
+#: XEMEM control-path latency histogram (cycles), by ``op``.
+XEMEM_OP_CYCLES = "xemem.op_cycles"
+#: Hobbes command-channel messages, by ``direction`` and ``kind``.
+HOBBES_MSGS = "hobbes.channel_msgs"
+#: Post-mortem bundles captured by the flight recorder, by ``trigger``.
+POSTMORTEMS = "obs.postmortems"
 
 #: Geometric cycle buckets spanning a posted delivery (~80 cyc) to a
 #: slow recovery (~10^8 cyc); upper bounds, +Inf implied.
@@ -63,10 +71,18 @@ class Metric:
     """Common bookkeeping for all metric kinds."""
 
     kind = "metric"
+    #: Set by the owning registry: called ``(kind, name, labels, value)``
+    #: on every update so passive observers (the flight recorder) can
+    #: keep a delta trail.  ``None`` when the metric is free-standing.
+    _notify = None
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
+
+    def _event(self, labels: dict[str, Any], value: float) -> None:
+        if self._notify is not None:
+            self._notify(self.kind, self.name, labels, value)
 
     def samples(self) -> list[tuple[dict[str, str], Any]]:  # pragma: no cover
         raise NotImplementedError
@@ -86,6 +102,7 @@ class Counter(Metric):
             raise ValueError(f"counter {self.name} cannot decrease")
         key = _labelkey(labels)
         self._values[key] = self._values.get(key, 0) + amount
+        self._event(labels, amount)
 
     def get(self, **labels: Any) -> float:
         return self._values.get(_labelkey(labels), 0)
@@ -116,6 +133,7 @@ class Gauge(Metric):
 
     def set(self, value: int | float, **labels: Any) -> None:
         self._values[_labelkey(labels)] = value
+        self._event(labels, value)
 
     def get(self, **labels: Any) -> float:
         return self._values.get(_labelkey(labels), 0)
@@ -151,6 +169,7 @@ class Histogram(Metric):
         counts[bisect.bisect_left(self.bounds, value)] += 1
         self._sum[key] = self._sum.get(key, 0) + value
         self._count[key] = self._count.get(key, 0) + 1
+        self._event(labels, value)
 
     def count(self, **labels: Any) -> int:
         return self._count.get(_labelkey(labels), 0)
@@ -186,11 +205,21 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
+        #: Passive update observers, called ``(kind, name, labels, value)``
+        #: on every counter increment / gauge set / histogram observation.
+        self.hooks: list = []
+
+    def _dispatch_event(
+        self, kind: str, name: str, labels: dict[str, Any], value: float
+    ) -> None:
+        for hook in self.hooks:
+            hook(kind, name, labels, value)
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name, help, **kwargs)
+            metric._notify = self._dispatch_event
             self._metrics[name] = metric
         elif not isinstance(metric, cls):
             raise TypeError(

@@ -17,6 +17,8 @@ span streams and metric dumps.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.commands import CommandType
 from repro.core.faults import EnclaveFaultError
 from repro.core.features import CovirtConfig
@@ -27,6 +29,7 @@ from repro.hw.memory import PAGE_SIZE
 from repro.hw.msr import MSR
 from repro.pisces.enclave import Enclave
 from repro.recovery.policy import RestartWithBackoff
+from repro.xemem.segment import HOST_ENCLAVE_ID
 
 GiB = 1 << 30
 
@@ -58,9 +61,19 @@ def protection_probe(env: CovirtEnvironment, enclave: Enclave) -> None:
         env.controller.issue_command(ctx, CommandType.PING)
 
 
-def run_canonical_scenario(seed: int = DEFAULT_SEED) -> CovirtEnvironment:
-    """Run the canonical demo and return its (instrumented) environment."""
+def run_canonical_scenario(
+    seed: int = DEFAULT_SEED,
+    postmortem_dir: str | Path | None = None,
+) -> CovirtEnvironment:
+    """Run the canonical demo and return its (instrumented) environment.
+
+    With ``postmortem_dir`` set, the flight recorder writes every
+    post-mortem bundle the run triggers (the containment fault produces
+    at least one) into that directory as sorted-key JSON.
+    """
     env = CovirtEnvironment()
+    if postmortem_dir is not None:
+        env.machine.obs.flight.dump_dir = Path(postmortem_dir)
     tracer = env.machine.obs.tracer
 
     with tracer.span("scenario.boot", category="scenario", track="scenario"):
@@ -82,6 +95,24 @@ def run_canonical_scenario(seed: int = DEFAULT_SEED) -> CovirtEnvironment:
         eid = service.enclave.enclave_id
         region = env.mcp.kmod.add_memory(eid, 16 * PAGE_SIZE, 0)
         env.mcp.kmod.remove_memory(eid, region)
+
+    with tracer.span("scenario.share", category="scenario", track="scenario"):
+        # Resource-sharing traffic: a host-owned XEMEM segment attached
+        # and detached by the enclave, plus one command-channel round
+        # trip — so the xemem.* and hobbes.cmd spans are pinned by the
+        # golden transcript.
+        eid = service.enclave.enclave_id
+        segment = env.mcp.xemem.make(
+            HOST_ENCLAVE_ID, "canon-shared", 48 * GiB, 16 * PAGE_SIZE
+        )
+        env.mcp.xemem.attach(eid, segment.segid)
+        env.mcp.xemem.detach(eid, segment.segid)
+        env.mcp.xemem.remove(segment.segid)
+        channel = env.mcp.channels[eid]
+        channel.host_send("ping", {"n": 1})
+        channel.enclave_recv()
+        channel.enclave_send("pong", {"n": 1})
+        channel.host_recv()
 
     with tracer.span("scenario.fault", category="scenario", track="scenario"):
         # The paper's containment story: a wild read far outside the

@@ -1,6 +1,6 @@
 """Schema checks for the observability artifacts.
 
-Two document shapes are validated here, dependency-free (no
+Three document shapes are validated here, dependency-free (no
 ``jsonschema`` in the image):
 
 * ``BENCH_*.json`` — the schema-versioned benchmark result files the
@@ -9,6 +9,9 @@ Two document shapes are validated here, dependency-free (no
   can never land silently.
 * Chrome-trace exports — :func:`validate_chrome_trace` checks the
   Trace Event Format essentials Perfetto needs to load the file.
+* Post-mortem dumps — :func:`validate_postmortem` checks the bundles
+  the flight recorder (:mod:`repro.obs.flight`) snapshots when
+  containment fires.
 
 Validators return a list of problems (empty = valid) so callers can
 report every defect at once rather than dying on the first.
@@ -20,6 +23,20 @@ from typing import Any
 
 BENCH_SCHEMA_NAME = "covirt-bench"
 BENCH_SCHEMA_VERSION = 1
+
+#: Result-row keys each figure's artifact must carry.  ``bench-validate``
+#: rejects artifacts whose rows miss these (and unknown bench names),
+#: so a renamed column or an unrecognized scenario can never slip
+#: through the perf-trajectory diff silently.
+FIGURE_RESULT_KEYS: dict[str, frozenset[str]] = {
+    "fig3": frozenset({"workload", "config", "fom"}),
+    "fig4": frozenset({"region_mb", "mode", "attach_us"}),
+    "fig5": frozenset({"workload", "config", "fom"}),
+    "fig6": frozenset({"workload", "config", "layout", "fom"}),
+    "fig7": frozenset({"workload", "config", "layout", "fom"}),
+    "fig8": frozenset({"workload", "config", "fom"}),
+    "recovery": frozenset(),  # heterogeneous rows: summary + per-kind MTTR
+}
 
 #: Every BENCH_*.json must carry these top-level keys.
 _BENCH_REQUIRED: tuple[tuple[str, type | tuple[type, ...]], ...] = (
@@ -56,8 +73,13 @@ def validate_bench(doc: Any) -> list[str]:
         )
     if doc["schema_version"] != BENCH_SCHEMA_VERSION:
         problems.append(
-            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
-            f"got {doc['schema_version']}"
+            f"unknown schema_version {doc['schema_version']} "
+            f"(this tool understands schema_version {BENCH_SCHEMA_VERSION})"
+        )
+    if doc["bench"] not in FIGURE_RESULT_KEYS:
+        problems.append(
+            f"unknown bench {doc['bench']!r}; expected one of "
+            f"{', '.join(sorted(FIGURE_RESULT_KEYS))}"
         )
     exits = doc["exits_by_reason"]
     if not exits:
@@ -102,9 +124,17 @@ def validate_bench(doc: Any) -> list[str]:
                         f"len(bounds)+1 = {len(bounds) + 1} entries"
                     )
                     break
+    required_row_keys = FIGURE_RESULT_KEYS.get(doc["bench"], frozenset())
     for i, row in enumerate(doc["results"]):
         if not isinstance(row, dict):
             problems.append(f"results[{i}] must be an object")
+            continue
+        missing = required_row_keys - set(row)
+        if missing:
+            problems.append(
+                f"results[{i}] missing figure keys for "
+                f"{doc['bench']!r}: {', '.join(sorted(missing))}"
+            )
     return problems
 
 
@@ -139,4 +169,78 @@ def validate_chrome_trace(doc: Any) -> list[str]:
                 problems.append(f"traceEvents[{i}] needs numeric dur >= 0")
     if not complete:
         problems.append("trace contains no complete (ph='X') events")
+    return problems
+
+
+#: Every post-mortem bundle must carry these top-level keys.
+_POSTMORTEM_REQUIRED: tuple[tuple[str, type | tuple[type, ...]], ...] = (
+    ("schema", str),
+    ("schema_version", int),
+    ("seq", int),
+    ("trigger", str),
+    ("reason", str),
+    ("detail", dict),
+    ("clock_now", int),
+    ("events_recorded", int),
+    ("events", list),
+    ("metrics", dict),
+    ("context", dict),
+)
+
+POSTMORTEM_EVENT_TYPES = ("span", "metric", "note")
+
+
+def validate_postmortem(doc: Any) -> list[str]:
+    """Validate one flight-recorder post-mortem bundle."""
+    from repro.obs.flight import (
+        POSTMORTEM_SCHEMA_NAME,
+        POSTMORTEM_SCHEMA_VERSION,
+    )
+
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    for key, types in _POSTMORTEM_REQUIRED:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(doc[key], types):
+            problems.append(
+                f"key {key!r} must be {types}, got {type(doc[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if doc["schema"] != POSTMORTEM_SCHEMA_NAME:
+        problems.append(
+            f"schema must be {POSTMORTEM_SCHEMA_NAME!r}, got {doc['schema']!r}"
+        )
+    if doc["schema_version"] != POSTMORTEM_SCHEMA_VERSION:
+        problems.append(
+            f"unknown schema_version {doc['schema_version']} (this tool "
+            f"understands schema_version {POSTMORTEM_SCHEMA_VERSION})"
+        )
+    if not doc["events"]:
+        problems.append("events must not be empty (the ring is always on)")
+    for i, event in enumerate(doc["events"]):
+        if not isinstance(event, dict):
+            problems.append(f"events[{i}] must be an object")
+            break
+        etype = event.get("type")
+        if etype not in POSTMORTEM_EVENT_TYPES:
+            problems.append(f"events[{i}] has unknown type {etype!r}")
+            break
+        if etype == "span" and not {
+            "name", "track", "start", "end"
+        } <= set(event):
+            problems.append(f"events[{i}] span missing name/track/start/end")
+            break
+        if etype == "metric" and not {"name", "labels", "value"} <= set(event):
+            problems.append(f"events[{i}] metric missing name/labels/value")
+            break
+    if doc["events_recorded"] < len(doc["events"]):
+        problems.append(
+            "events_recorded must be >= the retained event count"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc["metrics"]:
+            problems.append(f"metrics.{section} must be present")
     return problems

@@ -1,0 +1,291 @@
+"""The perf-regression sentinel behind ``python -m repro bench-compare``.
+
+Compares two sets of ``BENCH_*.json`` artifacts — a committed baseline
+and a fresh candidate run — figure by figure, against per-metric
+tolerance bands from ``benchmarks/tolerances.json``:
+
+* every baseline figure must exist in the candidate set (and vice
+  versa: new figures are reported, missing ones fail);
+* within a figure, result rows are keyed by the tolerance spec's
+  ``key`` columns (e.g. ``workload``/``config``) and their metric
+  column (e.g. ``fom``) must stay within ``rel_tol`` of the baseline;
+* whole-run ``sim_cycles`` drift is checked against a global band.
+
+The simulator is deterministic, so on an unchanged tree the candidate
+reproduces the baseline exactly and every band is trivially satisfied;
+the bands exist so *intended* cost-model adjustments of a few percent
+don't demand a baseline refresh, while real regressions (or silent
+behaviour changes) fail CI loudly.
+
+Output is a deterministic markdown report (sorted keys, stable
+formatting): same inputs → byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+TOLERANCE_SCHEMA_NAME = "covirt-bench-tolerances"
+TOLERANCE_SCHEMA_VERSION = 1
+
+#: Fallback relative tolerance when a bench has no explicit band.
+DEFAULT_REL_TOL = 0.05
+
+
+class ToleranceError(ValueError):
+    """tolerances.json is malformed."""
+
+
+def load_tolerances(path: str | Path) -> dict[str, Any]:
+    """Load and sanity-check ``benchmarks/tolerances.json``."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != TOLERANCE_SCHEMA_NAME:
+        raise ToleranceError(
+            f"tolerances schema must be {TOLERANCE_SCHEMA_NAME!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    if doc.get("schema_version") != TOLERANCE_SCHEMA_VERSION:
+        raise ToleranceError(
+            f"unknown tolerances schema_version {doc.get('schema_version')!r}"
+        )
+    for bench, spec in doc.get("benches", {}).items():
+        for required in ("metric", "key"):
+            if required not in spec:
+                raise ToleranceError(
+                    f"tolerances for {bench!r} missing {required!r}"
+                )
+    return doc
+
+
+def _bench_spec(tolerances: dict[str, Any], bench: str) -> dict[str, Any]:
+    return tolerances.get("benches", {}).get(bench, {})
+
+
+def _rel_tol(tolerances: dict[str, Any], bench: str) -> float:
+    spec = _bench_spec(tolerances, bench)
+    if "rel_tol" in spec:
+        return float(spec["rel_tol"])
+    return float(tolerances.get("default", {}).get("rel_tol", DEFAULT_REL_TOL))
+
+
+def _row_key(row: dict[str, Any], key_cols: list[str]) -> str:
+    return "/".join(str(row.get(col, "?")) for col in key_cols)
+
+
+@dataclass
+class Finding:
+    """One per-row comparison outcome."""
+
+    bench: str
+    key: str
+    metric: str
+    baseline: float | None
+    candidate: float | None
+    rel_tol: float
+    status: str  # ok | out-of-band | missing | extra
+
+    @property
+    def rel_delta(self) -> float | None:
+        if self.baseline is None or self.candidate is None:
+            return None
+        base = abs(self.baseline)
+        if base == 0:
+            return 0.0 if self.candidate == self.baseline else float("inf")
+        return (self.candidate - self.baseline) / base
+
+
+@dataclass
+class CompareReport:
+    """The full bench-compare verdict."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Figure-level problems (missing artifacts, schema mismatches).
+    problems: list[str] = field(default_factory=list)
+    benches_compared: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if f.status != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self.regressions
+
+
+def compare_docs(
+    bench: str,
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    tolerances: dict[str, Any],
+) -> list[Finding]:
+    """Compare one figure's baseline/candidate BENCH docs row-by-row."""
+    spec = _bench_spec(tolerances, bench)
+    metric = spec.get("metric")
+    key_cols = spec.get("key", [])
+    rel_tol = _rel_tol(tolerances, bench)
+    findings: list[Finding] = []
+
+    if metric:
+        base_rows = {
+            _row_key(r, key_cols): r
+            for r in baseline.get("results", [])
+            if metric in r
+        }
+        cand_rows = {
+            _row_key(r, key_cols): r
+            for r in candidate.get("results", [])
+            if metric in r
+        }
+        for key in sorted(set(base_rows) | set(cand_rows)):
+            b = base_rows.get(key)
+            c = cand_rows.get(key)
+            if b is None:
+                findings.append(
+                    Finding(bench, key, metric, None, float(c[metric]),
+                            rel_tol, "extra")
+                )
+                continue
+            if c is None:
+                findings.append(
+                    Finding(bench, key, metric, float(b[metric]), None,
+                            rel_tol, "missing")
+                )
+                continue
+            finding = Finding(
+                bench, key, metric, float(b[metric]), float(c[metric]),
+                rel_tol, "ok",
+            )
+            delta = finding.rel_delta
+            if delta is not None and abs(delta) > rel_tol:
+                finding.status = "out-of-band"
+            findings.append(finding)
+
+    cycles_tol = float(
+        tolerances.get("global", {}).get("sim_cycles_rel_tol", DEFAULT_REL_TOL)
+    )
+    finding = Finding(
+        bench, "(whole run)", "sim_cycles",
+        float(baseline.get("sim_cycles", 0)),
+        float(candidate.get("sim_cycles", 0)),
+        cycles_tol, "ok",
+    )
+    delta = finding.rel_delta
+    if delta is not None and abs(delta) > cycles_tol:
+        finding.status = "out-of-band"
+    findings.append(finding)
+    return findings
+
+
+def _load_set(directory: str | Path) -> dict[str, dict[str, Any]]:
+    """``BENCH_<name>.json`` files under ``directory`` → name → doc."""
+    docs: dict[str, dict[str, Any]] = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        doc = json.loads(path.read_text())
+        docs[doc.get("bench", path.stem[len("BENCH_"):])] = doc
+    return docs
+
+
+def compare_sets(
+    baseline_dir: str | Path,
+    candidate_dir: str | Path,
+    tolerances: dict[str, Any],
+) -> CompareReport:
+    """Compare every figure present in either artifact set."""
+    report = CompareReport()
+    base = _load_set(baseline_dir)
+    cand = _load_set(candidate_dir)
+    if not base:
+        report.problems.append(f"no BENCH_*.json under {baseline_dir}")
+    if not cand:
+        report.problems.append(f"no BENCH_*.json under {candidate_dir}")
+    for bench in sorted(set(base) | set(cand)):
+        if bench not in cand:
+            report.problems.append(
+                f"{bench}: present in baseline, missing from candidate"
+            )
+            continue
+        if bench not in base:
+            report.problems.append(
+                f"{bench}: present in candidate, missing from baseline"
+            )
+            continue
+        if base[bench].get("quick") != cand[bench].get("quick"):
+            report.problems.append(
+                f"{bench}: quick-mode mismatch (baseline"
+                f" quick={base[bench].get('quick')}, candidate"
+                f" quick={cand[bench].get('quick')}) — not comparable"
+            )
+            continue
+        report.benches_compared.append(bench)
+        report.findings.extend(
+            compare_docs(bench, base[bench], cand[bench], tolerances)
+        )
+    return report
+
+
+# -- rendering ----------------------------------------------------------
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def render_markdown(
+    report: CompareReport,
+    *,
+    baseline_label: str = "baseline",
+    candidate_label: str = "candidate",
+) -> str:
+    """The ``bench-compare`` markdown report (deterministic)."""
+    lines = [
+        "# bench-compare report",
+        "",
+        f"- baseline: `{baseline_label}`",
+        f"- candidate: `{candidate_label}`",
+        f"- figures compared: {', '.join(report.benches_compared) or 'none'}",
+        f"- verdict: {'OK' if report.ok else 'REGRESSION'}",
+        "",
+    ]
+    if report.problems:
+        lines.append("## problems")
+        lines.append("")
+        for problem in report.problems:
+            lines.append(f"- {problem}")
+        lines.append("")
+    regressions = report.regressions
+    if regressions:
+        lines.append("## out-of-tolerance")
+        lines.append("")
+        lines.append(
+            "| bench | key | metric | baseline | candidate | Δ | band | status |"
+        )
+        lines.append("|---|---|---|---|---|---|---|---|")
+        for f in regressions:
+            delta = f.rel_delta
+            delta_s = "-" if delta is None else f"{100 * delta:+.2f}%"
+            lines.append(
+                f"| {f.bench} | {f.key} | {f.metric} | {_fmt(f.baseline)} |"
+                f" {_fmt(f.candidate)} | {delta_s} | ±{100 * f.rel_tol:.0f}% |"
+                f" {f.status} |"
+            )
+        lines.append("")
+    lines.append("## all comparisons")
+    lines.append("")
+    lines.append("| bench | key | metric | baseline | candidate | Δ | status |")
+    lines.append("|---|---|---|---|---|---|---|")
+    for f in report.findings:
+        delta = f.rel_delta
+        delta_s = "-" if delta is None else f"{100 * delta:+.2f}%"
+        lines.append(
+            f"| {f.bench} | {f.key} | {f.metric} | {_fmt(f.baseline)} |"
+            f" {_fmt(f.candidate)} | {delta_s} | {f.status} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -73,8 +73,16 @@ class SpanTracer:
         self.spans: list[Span] = []
         #: Spans discarded once capacity was reached.
         self.dropped = 0
+        #: Passive observers called with every span the moment it closes
+        #: (the flight recorder's feed).  Observers must never advance
+        #: the clock or touch simulation state.
+        self.on_close: list[Callable[[Span], None]] = []
         self._stack: list[Span] = []
         self._next_id = 0
+
+    def _closed(self, span: Span) -> None:
+        for observer in self.on_close:
+            observer(span)
 
     # -- time ------------------------------------------------------------
 
@@ -127,6 +135,7 @@ class SpanTracer:
             top = self._stack.pop()
             if top.end is None:
                 top.end = max(when, top.start)
+                self._closed(top)
             if top is span:
                 break
         return span
@@ -178,6 +187,7 @@ class SpanTracer:
             self.spans.append(span)
         else:
             self.dropped += 1
+        self._closed(span)
         return span
 
     def instant(

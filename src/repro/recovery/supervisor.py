@@ -146,13 +146,43 @@ class RecoverySupervisor:
         mcp.on_enclave_failed.append(self._on_enclave_failed)
         if controller is not None:
             controller.fault_hooks.append(self._on_covirt_fault)
+        machine.obs.flight.register_context("recovery", self.flight_summary)
+
+    def flight_summary(self) -> dict:
+        """Deterministic service-state summary for post-mortem bundles."""
+        return {
+            name: {
+                "phase": service.phase.value,
+                "incarnation": service.incarnation,
+                "enclave_id": service.enclave.enclave_id,
+                "faults": [key.describe() for key in service.history],
+                "policy": service.policy.name,
+            }
+            for name, service in sorted(self.services.items())
+        }
 
     def _set_phase(self, service: SupervisedService, phase: RecoveryPhase) -> None:
         """Single funnel for phase transitions, so observers see every
         step of the state machine in order."""
         service.phase = phase
+        flight = self.machine.obs.flight
+        flight.note(
+            "recovery-phase",
+            f"{service.name!r} → {phase.value}",
+            incarnation=service.incarnation,
+        )
         for hook in list(self.phase_hooks):
             hook(service, phase)
+        if phase.terminal:
+            # A terminal park is the recovery layer's containment event:
+            # snapshot why the service will not come back.
+            flight.postmortem(
+                "recovery-parked",
+                f"service {service.name!r} parked in {phase.value}",
+                service=service.name,
+                phase=phase.value,
+                incarnation=service.incarnation,
+            )
 
     # -- registration ----------------------------------------------------
 

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.hw.machine import Machine
 from repro.hw.memory import MemoryRegion
+from repro.obs import metric_names
 from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.xemem.nameservice import NameService
 from repro.xemem.segment import Attachment, HOST_ENCLAVE_ID, Segment, SegmentError
@@ -78,6 +79,17 @@ class XememService:
         if core_hint is not None:
             self.machine.core(core_hint).advance(cycles)
 
+    def _note_op(self, op: str, cycles: int) -> None:
+        """Fold one control-path operation into the machine-wide
+        observability registry (passive — never advances time)."""
+        metrics = self.machine.obs.metrics
+        metrics.counter(
+            metric_names.XEMEM_OPS, "XEMEM control-path operations"
+        ).inc(op=op)
+        metrics.histogram(
+            metric_names.XEMEM_OP_CYCLES, "XEMEM control-path latency (cycles)"
+        ).observe(cycles, op=op)
+
     # -- control paths -------------------------------------------------
 
     def make(
@@ -90,18 +102,31 @@ class XememService:
         core_hint: int | None = None,
     ) -> Segment:
         """Export [start, +size) from the owner's memory as ``name``."""
-        owner = self._enclave(owner_enclave_id)
-        if owner is not None and not owner.assignment.owns_addr(start):
-            raise SegmentError(
-                f"enclave {owner_enclave_id} does not own {start:#x}"
+        with self.machine.obs.tracer.span(
+            "xemem.grant",
+            category="xemem",
+            track="xemem",
+            segment=name,
+            owner=owner_enclave_id,
+            bytes=size,
+        ):
+            owner = self._enclave(owner_enclave_id)
+            if owner is not None and not owner.assignment.owns_addr(start):
+                raise SegmentError(
+                    f"enclave {owner_enclave_id} does not own {start:#x}"
+                )
+            segment = Segment(
+                self.names.allocate_segid(), name, owner_enclave_id, start, size
             )
-        segment = Segment(
-            self.names.allocate_segid(), name, owner_enclave_id, start, size
-        )
-        self.names.register(segment)
-        self._charge(owner_enclave_id, core_hint, self.costs.xemem_control_rtt)
-        self.op_log.append(("make", segment.segid, self.costs.xemem_control_rtt))
-        return segment
+            self.names.register(segment)
+            self._charge(
+                owner_enclave_id, core_hint, self.costs.xemem_control_rtt
+            )
+            self.op_log.append(
+                ("make", segment.segid, self.costs.xemem_control_rtt)
+            )
+            self._note_op("grant", self.costs.xemem_control_rtt)
+            return segment
 
     def get(self, name: str, *, core_hint: int | None = None) -> int:
         """Name-service lookup → segid."""
@@ -114,46 +139,68 @@ class XememService:
         self, attacher_enclave_id: int, segid: int, *, core_hint: int | None = None
     ) -> Attachment:
         """Attach a segment into an enclave's address space."""
-        segment = self.names.by_segid(segid)
-        attacher = self._enclave(attacher_enclave_id)
-        covirt = bool(attacher is not None and attacher.virt_context is not None)
-        region = segment.region
-        if attacher is not None:
-            # 1. Hooks first: under Covirt, the EPT mapping now exists.
-            for hook in self.hooks.pre_attach:
-                hook(attacher, region)
-            # 2. Transmit the page-frame list to the attaching co-kernel,
-            #    which installs it in its memory map and page tables.
-            assert attacher.kernel is not None
-            attacher.kernel.map_shared(region)
-        attachment = segment.attach_for(attacher_enclave_id)
-        cycles = self.costs.xemem_attach_cycles(segment.size, covirt=covirt)
-        self._charge(attacher_enclave_id, core_hint, cycles)
-        self.op_log.append(("attach", segid, cycles))
-        return attachment
+        with self.machine.obs.tracer.span(
+            "xemem.attach",
+            category="xemem",
+            track="xemem",
+            segid=segid,
+            attacher=attacher_enclave_id,
+        ):
+            segment = self.names.by_segid(segid)
+            attacher = self._enclave(attacher_enclave_id)
+            covirt = bool(
+                attacher is not None and attacher.virt_context is not None
+            )
+            region = segment.region
+            if attacher is not None:
+                # 1. Hooks first: under Covirt, the EPT mapping now exists.
+                for hook in self.hooks.pre_attach:
+                    hook(attacher, region)
+                # 2. Transmit the page-frame list to the attaching co-kernel,
+                #    which installs it in its memory map and page tables.
+                assert attacher.kernel is not None
+                attacher.kernel.map_shared(region)
+            attachment = segment.attach_for(attacher_enclave_id)
+            cycles = self.costs.xemem_attach_cycles(segment.size, covirt=covirt)
+            self._charge(attacher_enclave_id, core_hint, cycles)
+            self.op_log.append(("attach", segid, cycles))
+            self._note_op("attach", cycles)
+            return attachment
 
     def detach(
         self, attacher_enclave_id: int, segid: int, *, core_hint: int | None = None
     ) -> None:
         """Detach; the co-kernel acks before the hypervisor unmaps."""
-        segment = self.names.by_segid(segid)
-        attacher = self._enclave(attacher_enclave_id)
-        covirt = bool(attacher is not None and attacher.virt_context is not None)
-        region = segment.region
-        num_cores = len(attacher.assignment.core_ids) if attacher is not None else 0
-        if attacher is not None:
-            # 1. Co-kernel retires its mappings and acknowledges.
-            assert attacher.kernel is not None
-            attacher.kernel.unmap_shared(region)
-            # 2. Only then: Covirt unmap + flush.
-            for hook in self.hooks.post_detach:
-                hook(attacher, region)
-        segment.detach_for(attacher_enclave_id)
-        cycles = self.costs.xemem_detach_cycles(
-            segment.size, covirt=covirt, num_cores=num_cores
-        )
-        self._charge(attacher_enclave_id, core_hint, cycles)
-        self.op_log.append(("detach", segid, cycles))
+        with self.machine.obs.tracer.span(
+            "xemem.detach",
+            category="xemem",
+            track="xemem",
+            segid=segid,
+            attacher=attacher_enclave_id,
+        ):
+            segment = self.names.by_segid(segid)
+            attacher = self._enclave(attacher_enclave_id)
+            covirt = bool(
+                attacher is not None and attacher.virt_context is not None
+            )
+            region = segment.region
+            num_cores = (
+                len(attacher.assignment.core_ids) if attacher is not None else 0
+            )
+            if attacher is not None:
+                # 1. Co-kernel retires its mappings and acknowledges.
+                assert attacher.kernel is not None
+                attacher.kernel.unmap_shared(region)
+                # 2. Only then: Covirt unmap + flush.
+                for hook in self.hooks.post_detach:
+                    hook(attacher, region)
+            segment.detach_for(attacher_enclave_id)
+            cycles = self.costs.xemem_detach_cycles(
+                segment.size, covirt=covirt, num_cores=num_cores
+            )
+            self._charge(attacher_enclave_id, core_hint, cycles)
+            self.op_log.append(("detach", segid, cycles))
+            self._note_op("detach", cycles)
 
     def remove(self, segid: int) -> None:
         """Owner destroys a segment; all attachments must be gone."""

@@ -127,3 +127,57 @@ class TestBenchValidator:
 
     def test_non_object_document(self):
         assert validate_bench([1, 2]) != []
+
+    def test_unknown_schema_version_message_names_the_supported_one(
+        self, recovery_doc
+    ):
+        doc = dict(recovery_doc, schema_version=BENCH_SCHEMA_VERSION + 1)
+        problems = validate_bench(doc)
+        assert any(
+            "unknown schema_version" in p and "understands" in p
+            for p in problems
+        )
+
+    def test_unknown_bench_name_rejected(self, recovery_doc):
+        doc = dict(recovery_doc, bench="fig99")
+        assert any("unknown bench" in p for p in validate_bench(doc))
+
+    def test_missing_figure_keys_rejected(self, runner):
+        doc = runner.run_scenario("fig5", quick=True)
+        broken = json.loads(json.dumps(doc))
+        del broken["results"][0]["fom"]
+        problems = validate_bench(broken)
+        assert any("missing figure keys" in p and "fom" in p for p in problems)
+
+
+class TestBenchValidateCli:
+    def test_exit_1_and_clear_message_on_unknown_schema_version(
+        self, recovery_doc, tmp_path, capsys
+    ):
+        from repro.cli import main as cli_main
+
+        doc = dict(recovery_doc, schema_version=99)
+        path = tmp_path / "BENCH_recovery.json"
+        path.write_text(json.dumps(doc))
+        assert cli_main(["bench-validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "unknown schema_version 99" in out
+
+    def test_exit_1_on_missing_figure_keys(self, runner, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        doc = runner.run_scenario("fig4", quick=True)
+        del doc["results"][0]["attach_us"]
+        path = tmp_path / "BENCH_fig4.json"
+        path.write_text(json.dumps(doc))
+        assert cli_main(["bench-validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "missing figure keys" in out
+
+    def test_exit_0_on_the_committed_artifacts(self, capsys):
+        from repro.cli import main as cli_main
+
+        paths = [str(p) for p in sorted(REPO_ROOT.glob("BENCH_*.json"))]
+        assert cli_main(["bench-validate", *paths]) == 0
+        assert "ok" in capsys.readouterr().out

@@ -53,6 +53,10 @@ REQUIRED_SPANS = {
     "recovery.relaunch",
     "recovery.replay",
     "recovery.checkpoint",
+    "xemem.grant",
+    "xemem.attach",
+    "xemem.detach",
+    "hobbes.cmd",
 }
 
 

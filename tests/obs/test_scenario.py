@@ -1,0 +1,137 @@
+"""Canonical-scenario coverage + export/metric edge cases.
+
+The golden-trace tests pin the scenario's transcript; these tests pin
+its *semantics* (which subsystems each phase exercises) and the edge
+behaviour of the exporters the scenario feeds: empty and single-span
+traces, histogram bucket boundaries, and the counters the new
+instrumentation maintains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.obs import metric_names, validate_chrome_trace
+from repro.obs.export import chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.scenario import (
+    CANONICAL_LAYOUT,
+    WILD_ADDR,
+    run_canonical_scenario,
+)
+from repro.obs.spans import SpanTracer
+
+
+@pytest.fixture(scope="module")
+def env():
+    return run_canonical_scenario()
+
+
+class TestScenarioPhases:
+    def test_phase_spans_in_order(self, env):
+        tracer = env.machine.obs.tracer
+        phases = [
+            s.name for s in tracer.spans if s.name.startswith("scenario.")
+        ]
+        assert phases == [
+            "scenario.boot",
+            "scenario.probe",
+            "scenario.reconfigure",
+            "scenario.share",
+            "scenario.fault",
+            "scenario.checkpoint",
+            "scenario.fuzz",
+        ]
+
+    def test_share_phase_exercises_xemem_and_channels(self, env):
+        metrics = env.machine.obs.metrics
+        ops = metrics.get(metric_names.XEMEM_OPS)
+        assert ops is not None
+        assert ops.get(op="grant") >= 1
+        assert ops.get(op="attach") >= 1
+        assert ops.get(op="detach") >= 1
+        hist = metrics.get(metric_names.XEMEM_OP_CYCLES)
+        assert hist.count(op="attach") >= 1
+        msgs = metrics.get(metric_names.HOBBES_MSGS)
+        # One host_send + one enclave_send per run.
+        assert msgs.get(direction="to_enclave", kind="ping", enclave=1) == 1
+        assert msgs.get(direction="to_host", kind="pong", enclave=1) == 1
+
+    def test_fault_phase_counts_a_postmortem(self, env):
+        counter = env.machine.obs.metrics.get(metric_names.POSTMORTEMS)
+        assert counter is not None
+        assert counter.get(trigger="containment") >= 1
+
+    def test_layout_and_fault_address_are_stable(self):
+        # Pins the constants the containment story depends on: the wild
+        # address must live in the host half, outside the enclave.
+        assert WILD_ADDR >= 32 * (1 << 30)
+        assert sum(CANONICAL_LAYOUT.cores_per_zone.values()) == 2
+
+    def test_scenario_env_is_reusable(self, env):
+        # The returned environment is live: the machine keeps working
+        # after the run (consumers export more traces from it).
+        assert env.host.alive
+        assert env.machine.obs.tracer.open_depth == 0
+
+
+class TestExportEdgeCases:
+    def test_empty_trace_export(self):
+        doc = chrome_trace([])
+        # Structure holds (process metadata only) but the validator
+        # flags the absence of complete events.
+        assert doc["traceEvents"][0]["name"] == "process_name"
+        problems = validate_chrome_trace(doc)
+        assert any("no complete" in p for p in problems)
+
+    def test_single_span_trace(self):
+        tracer = SpanTracer(Clock())
+        tracer.complete("only", 5, 9, track="solo")
+        doc = chrome_trace(tracer.spans)
+        assert validate_chrome_trace(doc) == []
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 1
+        assert complete[0]["name"] == "only"
+        assert complete[0]["args"]["cycles"] == 4
+        threads = [
+            e for e in doc["traceEvents"] if e.get("name") == "thread_name"
+        ]
+        assert [t["args"]["name"] for t in threads] == ["solo"]
+
+
+class TestHistogramBoundaries:
+    @pytest.fixture
+    def hist(self):
+        registry = MetricsRegistry()
+        return registry.histogram("h", buckets=(10, 100, 1000))
+
+    def counts(self, hist):
+        ((_, stats),) = hist.samples()
+        return stats["counts"]
+
+    def test_zero_lands_in_first_bucket(self, hist):
+        hist.observe(0)
+        assert self.counts(hist) == [1, 0, 0, 0]
+
+    def test_exact_bucket_edge_is_inclusive(self, hist):
+        # bisect_left: value == bound counts inside that bound (le
+        # semantics, like Prometheus).
+        hist.observe(10)
+        hist.observe(100)
+        hist.observe(1000)
+        assert self.counts(hist) == [1, 1, 1, 0]
+
+    def test_just_past_an_edge_spills_to_the_next_bucket(self, hist):
+        hist.observe(11)
+        assert self.counts(hist) == [0, 1, 0, 0]
+
+    def test_beyond_max_bound_lands_in_overflow(self, hist):
+        hist.observe(10**9)
+        assert self.counts(hist) == [0, 0, 0, 1]
+
+    def test_sum_and_count_track_boundary_values(self, hist):
+        for v in (0, 10, 1001):
+            hist.observe(v)
+        assert hist.count() == 3
+        assert hist.sum() == 1011
