@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -329,7 +330,12 @@ def main(argv: list[str] | None = None) -> int:
     names = args.only or sorted(SCENARIOS)
     failures = 0
     for name in names:
+        # Wall time is stamped here, not in run_scenario(): the scenario
+        # body must stay a deterministic function of (name, quick, seed)
+        # — the pipeline tests byte-compare repeated run_scenario() docs.
+        t0 = time.perf_counter()
         doc = run_scenario(name, args.quick, args.seed)
+        doc["wall_seconds"] = round(time.perf_counter() - t0, 3)
         problems = validate_bench(doc)
         path = out_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(doc, indent=1, sort_keys=False) + "\n")
@@ -337,7 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"[{name}] {path.name}: {len(doc['results'])} results, "
             f"{exits} exits over {len(doc['exits_by_reason'])} reasons, "
-            f"{doc['sim_cycles']} sim cycles"
+            f"{doc['sim_cycles']} sim cycles, {doc['wall_seconds']}s wall"
         )
         if problems:
             failures += 1

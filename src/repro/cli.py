@@ -190,6 +190,25 @@ def run_recovery_demo() -> int:
     return 1 if failures else 0
 
 
+def _prepare_postmortem_dir(path: str) -> str | None:
+    """Make ``--postmortem-dir`` usable before the scenario runs: create
+    it (parents included) if missing and prove it is writable with a
+    probe file.  Returns a one-line error string on failure so callers
+    never surface a traceback for a bad path."""
+    import os
+    from pathlib import Path
+
+    target = Path(path)
+    try:
+        target.mkdir(parents=True, exist_ok=True)
+        probe = target / ".write-probe"
+        probe.write_bytes(b"")
+        os.unlink(probe)
+    except OSError as exc:
+        return f"trace-export: cannot write post-mortems to {path!r}: {exc}"
+    return None
+
+
 def run_trace_export(args) -> int:
     """Run the canonical demo scenario and export its span stream as
     Chrome-trace JSON (loads in Perfetto / chrome://tracing)."""
@@ -197,6 +216,11 @@ def run_trace_export(args) -> int:
     from repro.obs.export import chrome_trace
     from repro.obs.scenario import run_canonical_scenario
 
+    if args.postmortem_dir is not None:
+        problem = _prepare_postmortem_dir(args.postmortem_dir)
+        if problem is not None:
+            print(problem, file=sys.stderr)
+            return 2
     env = run_canonical_scenario(
         seed=args.seed, postmortem_dir=args.postmortem_dir
     )
@@ -424,7 +448,72 @@ def run_shrink(args) -> int:
     return 0
 
 
+def run_serve_demo(args) -> int:
+    """The docs/serving.md quickstart, executable: drive one session
+    through its whole lifecycle against a covirt-serve daemon.  By
+    default the demo self-hosts a daemon on a background thread; with
+    ``--connect`` it exercises an external one (the CI smoke job)."""
+    import json
+
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ServeDaemon
+
+    daemon = None
+    endpoint = args.connect
+    if endpoint is None:
+        daemon = ServeDaemon(tcp=("127.0.0.1", 0))
+        daemon.start()
+        endpoint = daemon.endpoint
+
+    def show(label: str, result) -> None:
+        print(f"--> {label}")
+        print(f"    {json.dumps(result, sort_keys=True)}")
+
+    try:
+        with ServeClient(endpoint, tenant="demo") as client:
+            show("ping", client.ping())
+            launched = client.launch(scenario=args.scenario, seed=args.seed)
+            sid = launched["session_id"]
+            show("session.launch", launched)
+            show("session.step", client.step(sid, steps=5))
+            show("session.run", client.run(sid, cycles=200_000_000))
+            inspected = client.inspect(sid)
+            show("session.inspect", {
+                k: inspected[k]
+                for k in ("session_id", "state", "clock", "steps_applied",
+                          "enclaves", "postmortems")
+            })
+            show("session.inject", client.inject(
+                sid, "touch_outside", {"slot": 0, "page": 7, "write": False}
+            ))
+            trace = client.trace(sid, cursor=0, limit=5)
+            show("session.trace", {
+                "events": len(trace["events"]),
+                "cursor": trace["cursor"],
+                "dropped": trace["dropped"],
+                "recorded": trace["recorded"],
+            })
+            show("session.kill", client.kill(sid))
+            show("stats", client.stats())
+            if args.shutdown:
+                show("shutdown", client.shutdown())
+    finally:
+        if daemon is not None:
+            daemon.stop()
+    print("serve-demo: ok")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # Hand everything after "serve" to the daemon's own parser.
+        # argparse REMAINDER cannot capture a leading option token
+        # (e.g. ``repro serve --help``), so route before parsing.
+        from repro.serve.daemon import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Covirt reproduction: regenerate the paper's evaluation.",
@@ -542,6 +631,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="on failure, minimize the sequence before exiting",
     )
+    # "serve" is routed to the daemon's own parser before parse_args
+    # (see the top of this function); registered here for help listing.
+    sub.add_parser(
+        "serve",
+        help="run the covirt-serve multi-tenant session daemon "
+        "(see docs/serving.md)",
+        add_help=False,
+    )
+    sdemo = sub.add_parser(
+        "serve-demo",
+        help="drive one session through launch/step/run/inspect/inject/"
+        "trace/kill against a covirt-serve daemon",
+    )
+    sdemo.add_argument("--seed", type=int, default=0xC0517)
+    sdemo.add_argument(
+        "--scenario", default="baseline",
+        help="fuzz schedule to serve: baseline, hostile, churn, recovery",
+    )
+    sdemo.add_argument(
+        "--connect", metavar="SPEC", default=None,
+        help="use an external daemon at unix:PATH or tcp:HOST:PORT "
+        "instead of self-hosting one",
+    )
+    sdemo.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to shut down at the end (CI smoke)",
+    )
     replay = sub.add_parser(
         "replay", help="re-execute a recorded fuzz run (file or corpus dir)"
     )
@@ -581,6 +697,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_fault_demo()
     if args.command == "recovery-demo":
         return run_recovery_demo()
+    if args.command == "serve-demo":
+        return run_serve_demo(args)
     if args.command == "fuzz":
         return run_fuzz(args)
     if args.command == "replay":

@@ -265,6 +265,15 @@ class FuzzEngine:
                 break
         return self._finish()
 
+    def inject(self, action: Action) -> StepRecord:
+        """Apply one externally supplied action and return its step
+        record.  This is the serving daemon's ``session.inject`` path:
+        like :meth:`replay` it consumes no RNG, so injections into a
+        live session never perturb the seeded action stream around
+        them."""
+        self._apply(action)
+        return self.steps[-1]
+
     # -- generation --------------------------------------------------------
 
     def _live_slots(self) -> list[int]:

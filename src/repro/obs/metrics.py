@@ -51,6 +51,26 @@ XEMEM_OP_CYCLES = "xemem.op_cycles"
 HOBBES_MSGS = "hobbes.channel_msgs"
 #: Post-mortem bundles captured by the flight recorder, by ``trigger``.
 POSTMORTEMS = "obs.postmortems"
+#: Serving-daemon requests handled, by ``method`` and ``status``
+#: (``ok`` or the typed error code).
+SERVE_REQUESTS = "serve.requests"
+#: Serving-daemon request latency histogram (microseconds, wall clock),
+#: by ``method``.
+SERVE_REQUEST_US = "serve.request_us"
+#: Live sessions gauge, by ``tenant`` (and the ``total`` pseudo-tenant).
+SERVE_SESSIONS = "serve.sessions"
+#: Requests shed by admission control, by ``reason`` (busy | quota).
+SERVE_SHED = "serve.shed"
+#: Scheduler slices executed, by ``tenant``.
+SERVE_SLICES = "serve.slices"
+#: Sessions parked by crash containment, by ``tenant``.
+SERVE_PARKS = "serve.parks"
+
+#: Microsecond buckets for wall-clock request latency (serving daemon).
+WALL_US_BUCKETS: tuple[int, ...] = (
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000,
+    50_000, 100_000, 250_000, 500_000, 1_000_000, 5_000_000,
+)
 
 #: Geometric cycle buckets spanning a posted delivery (~80 cyc) to a
 #: slow recovery (~10^8 cyc); upper bounds, +Inf implied.

@@ -36,6 +36,9 @@ FIGURE_RESULT_KEYS: dict[str, frozenset[str]] = {
     "fig7": frozenset({"workload", "config", "layout", "fom"}),
     "fig8": frozenset({"workload", "config", "fom"}),
     "recovery": frozenset(),  # heterogeneous rows: summary + per-kind MTTR
+    "serve": frozenset(
+        {"clients", "requests", "requests_per_sec", "p50_ms", "p99_ms"}
+    ),
 }
 
 #: Every BENCH_*.json must carry these top-level keys.
@@ -81,6 +84,16 @@ def validate_bench(doc: Any) -> list[str]:
             f"unknown bench {doc['bench']!r}; expected one of "
             f"{', '.join(sorted(FIGURE_RESULT_KEYS))}"
         )
+    # wall_seconds is optional (older artifacts predate it) but when
+    # present it must be a sane wall-clock duration.
+    if "wall_seconds" in doc:
+        wall = doc["wall_seconds"]
+        if isinstance(wall, bool) or not isinstance(wall, (int, float)):
+            problems.append(
+                f"wall_seconds must be a number, got {type(wall).__name__}"
+            )
+        elif wall < 0:
+            problems.append(f"wall_seconds must be >= 0, got {wall}")
     exits = doc["exits_by_reason"]
     if not exits:
         problems.append("exits_by_reason must not be empty")

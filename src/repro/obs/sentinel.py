@@ -34,6 +34,11 @@ TOLERANCE_SCHEMA_VERSION = 1
 #: Fallback relative tolerance when a bench has no explicit band.
 DEFAULT_REL_TOL = 0.05
 
+#: Fallback band for wall-clock runtime drift.  Wall time is noisy
+#: (shared CI runners, thermal throttling), so the default band is wide:
+#: it only catches order-of-magnitude blowups, not few-percent jitter.
+DEFAULT_WALL_SECONDS_REL_TOL = 2.0
+
 
 class ToleranceError(ValueError):
     """tolerances.json is malformed."""
@@ -176,6 +181,26 @@ def compare_docs(
     if delta is not None and abs(delta) > cycles_tol:
         finding.status = "out-of-band"
     findings.append(finding)
+
+    # Wall-clock drift: only comparable when both artifacts carry it
+    # (committed baselines may predate the field, and a laptop baseline
+    # vs. a CI candidate is apples-to-oranges anyway — the band is wide).
+    if "wall_seconds" in baseline and "wall_seconds" in candidate:
+        wall_tol = float(
+            tolerances.get("global", {}).get(
+                "wall_seconds_rel_tol", DEFAULT_WALL_SECONDS_REL_TOL
+            )
+        )
+        finding = Finding(
+            bench, "(whole run)", "wall_seconds",
+            float(baseline["wall_seconds"]),
+            float(candidate["wall_seconds"]),
+            wall_tol, "ok",
+        )
+        delta = finding.rel_delta
+        if delta is not None and abs(delta) > wall_tol:
+            finding.status = "out-of-band"
+        findings.append(finding)
     return findings
 
 

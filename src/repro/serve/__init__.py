@@ -1,0 +1,52 @@
+"""repro.serve — the multi-tenant serving daemon.
+
+The simulator as a long-running service: one :class:`ServeDaemon` owns a
+pool of concurrent simulated Covirt machines (one
+:class:`~repro.harness.env.CovirtEnvironment` per session), multiplexed
+over a newline-delimited JSON-RPC protocol on a Unix or TCP socket.
+
+Layering mirrors the paper's isolation stance (Quest-V: concurrent
+tenants share no trusted root) and ReHype's survivability stance (the
+service outlives any tenant's crash):
+
+* :mod:`repro.serve.protocol` — the wire format and typed error codes;
+* :mod:`repro.serve.session`  — one tenant machine, steppable in
+  budgeted sim-cycle slices, crash-contained;
+* :mod:`repro.serve.registry` — per-tenant quotas and admission control;
+* :mod:`repro.serve.scheduler` — cooperative round-robin slicing so one
+  hot tenant cannot starve the rest;
+* :mod:`repro.serve.daemon`   — the event loop (``covirt-serve``);
+* :mod:`repro.serve.client`   — the blocking client library the CLI,
+  tests, and ``benchmarks/bench_serve_throughput.py`` drive.
+
+See ``docs/serving.md`` for the protocol reference and quickstart.
+"""
+
+from __future__ import annotations
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_NAME,
+    PROTOCOL_VERSION,
+    ServeError,
+)
+from repro.serve.registry import SessionRegistry, TenantQuota
+from repro.serve.scheduler import CooperativeScheduler, RunJob
+from repro.serve.session import Session, SessionState
+
+__all__ = [
+    "CooperativeScheduler",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_NAME",
+    "PROTOCOL_VERSION",
+    "RunJob",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "Session",
+    "SessionRegistry",
+    "SessionState",
+    "TenantQuota",
+]

@@ -1,0 +1,160 @@
+"""The blocking client library for ``covirt-serve``.
+
+Used by the CLI (``python -m repro serve-demo``), the test suite, and
+``benchmarks/bench_serve_throughput.py``.  One :class:`ServeClient` is
+one connection: requests are matched to responses by id, server-side
+typed errors re-raise locally as :class:`~repro.serve.protocol.ServeError`
+(branch on ``err.code``, never on message text).
+
+Endpoints are specs: ``unix:/path/to.sock`` or ``tcp:HOST:PORT`` —
+exactly what :attr:`ServeDaemon.endpoint` hands out.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ServeError,
+    decode_line,
+    encode_request,
+)
+
+
+def parse_endpoint(spec: str) -> tuple[str, Any]:
+    """``unix:PATH`` / ``tcp:HOST:PORT`` → (family, address)."""
+    kind, _, rest = spec.partition(":")
+    if kind == "unix" and rest:
+        return "unix", rest
+    if kind == "tcp" and rest:
+        host, _, port = rest.rpartition(":")
+        if host and port.isdigit():
+            return "tcp", (host, int(port))
+    raise ValueError(
+        f"bad endpoint {spec!r}; want unix:PATH or tcp:HOST:PORT"
+    )
+
+
+class ServeClient:
+    """One blocking connection to a covirt-serve daemon."""
+
+    def __init__(
+        self, endpoint: str, tenant: str | None = None, timeout: float = 30.0
+    ) -> None:
+        self.endpoint = endpoint
+        kind, address = parse_endpoint(endpoint)
+        if kind == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(address)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        if tenant is not None:
+            self.hello(tenant)
+
+    # -- transport -------------------------------------------------------
+
+    def request(self, method: str, params: dict[str, Any] | None = None) -> Any:
+        """One round trip; returns ``result`` or raises ServeError."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(encode_request(request_id, method, params))
+        line = self._reader.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError(
+                f"daemon at {self.endpoint} closed the connection"
+            )
+        response = decode_line(line)
+        if response.get("id") not in (request_id, None):
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServeError(
+            str(error.get("code", "internal")),
+            str(error.get("message", "(no message)")),
+            error.get("data"),
+        )
+
+    def send_raw(self, payload: bytes) -> dict[str, Any]:
+        """Ship raw bytes and read one response line (protocol tests)."""
+        self._sock.sendall(payload)
+        line = self._reader.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return decode_line(line)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- convenience methods ---------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def hello(self, tenant: str) -> dict[str, Any]:
+        return self.request("hello", {"tenant": tenant})
+
+    def stats(self, metrics: bool = False) -> dict[str, Any]:
+        return self.request("stats", {"metrics": metrics})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")
+
+    def launch(
+        self, scenario: str = "baseline", seed: int | None = None
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"scenario": scenario}
+        if seed is not None:
+            params["seed"] = seed
+        return self.request("session.launch", params)
+
+    def step(self, session_id: str, steps: int = 1) -> dict[str, Any]:
+        return self.request(
+            "session.step", {"session_id": session_id, "steps": steps}
+        )
+
+    def run(self, session_id: str, cycles: int) -> dict[str, Any]:
+        return self.request(
+            "session.run", {"session_id": session_id, "cycles": cycles}
+        )
+
+    def inspect(self, session_id: str, metrics: bool = False) -> dict[str, Any]:
+        return self.request(
+            "session.inspect", {"session_id": session_id, "metrics": metrics}
+        )
+
+    def trace(
+        self, session_id: str, cursor: int = 0, limit: int | None = None
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"session_id": session_id, "cursor": cursor}
+        if limit is not None:
+            params["limit"] = limit
+        return self.request("session.trace", params)
+
+    def inject(
+        self, session_id: str, kind: str, params: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        return self.request(
+            "session.inject",
+            {"session_id": session_id, "kind": kind, "params": params or {}},
+        )
+
+    def kill(self, session_id: str) -> dict[str, Any]:
+        return self.request("session.kill", {"session_id": session_id})

@@ -1,0 +1,196 @@
+"""The covirt-serve wire protocol.
+
+Newline-delimited JSON-RPC over a stream socket: every request is one
+JSON object on one line, every response is one JSON object on one line,
+matched by ``id``.  The framing is deliberately trivial — any language
+with a socket and a JSON parser is a client.
+
+Request::
+
+    {"id": 7, "method": "session.step", "params": {"session_id": "s1", "steps": 4}}
+
+Success::
+
+    {"id": 7, "ok": true, "result": {...}}
+
+Failure::
+
+    {"id": 7, "ok": false, "error": {"code": "no_such_session", "message": "..."}}
+
+Errors are **typed**: the ``code`` field is one of the ``E_*`` constants
+below, so clients branch on codes, never on message text.  Admission
+control sheds load with explicit ``busy`` / ``quota`` errors instead of
+queuing unboundedly; a request the daemon cannot even parse is answered
+with ``id: null`` (there is no trustworthy id to echo).
+
+Lines are capped at :data:`MAX_LINE_BYTES`; an oversized line is
+discarded up to its terminating newline and answered with
+``payload_too_large``, and the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+PROTOCOL_NAME = "covirt-serve"
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/response line (framing survives violations).
+MAX_LINE_BYTES = 256 * 1024
+
+# -- typed error codes --------------------------------------------------
+
+E_PARSE = "parse_error"  # line is not valid JSON
+E_INVALID_REQUEST = "invalid_request"  # JSON, but not a request object
+E_UNKNOWN_METHOD = "unknown_method"
+E_INVALID_PARAMS = "invalid_params"
+E_PAYLOAD_TOO_LARGE = "payload_too_large"
+E_BUSY = "busy"  # admission control shed the request
+E_QUOTA = "quota"  # per-tenant quota exceeded
+E_NO_SUCH_SESSION = "no_such_session"  # unknown id, or another tenant's
+E_SESSION_PARKED = "session_parked"  # crashed session; inspect/trace/kill only
+E_SHUTTING_DOWN = "shutting_down"
+E_INTERNAL = "internal"  # daemon-side bug (never a tenant's fault)
+
+ERROR_CODES = frozenset(
+    {
+        E_PARSE,
+        E_INVALID_REQUEST,
+        E_UNKNOWN_METHOD,
+        E_INVALID_PARAMS,
+        E_PAYLOAD_TOO_LARGE,
+        E_BUSY,
+        E_QUOTA,
+        E_NO_SUCH_SESSION,
+        E_SESSION_PARKED,
+        E_SHUTTING_DOWN,
+        E_INTERNAL,
+    }
+)
+
+
+class ServeError(Exception):
+    """A typed protocol error (raised server-side, re-raised client-side)."""
+
+    def __init__(self, code: str, message: str, data: Any = None) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown serve error code {code!r}")
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.data = data
+
+    def to_error(self) -> dict[str, Any]:
+        error: dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.data is not None:
+            error["data"] = self.data
+        return error
+
+
+# -- encoding -----------------------------------------------------------
+
+
+def _line(obj: dict[str, Any]) -> bytes:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def encode_request(
+    request_id: int, method: str, params: dict[str, Any] | None = None
+) -> bytes:
+    return _line(
+        {"id": request_id, "method": method, "params": params or {}}
+    )
+
+
+def encode_response(request_id: int | None, result: Any) -> bytes:
+    return _line({"id": request_id, "ok": True, "result": result})
+
+
+def encode_error(request_id: int | None, err: ServeError) -> bytes:
+    return _line({"id": request_id, "ok": False, "error": err.to_error()})
+
+
+# -- decoding -----------------------------------------------------------
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """One wire line → object; raises :data:`E_PARSE` on garbage."""
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ServeError(E_PARSE, f"malformed JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServeError(
+            E_INVALID_REQUEST,
+            f"expected an object, got {type(obj).__name__}",
+        )
+    return obj
+
+
+def parse_request(obj: dict[str, Any]) -> tuple[int | None, str, dict[str, Any]]:
+    """Validate a decoded request envelope → ``(id, method, params)``."""
+    request_id = obj.get("id")
+    if request_id is not None and not isinstance(request_id, int):
+        raise ServeError(E_INVALID_REQUEST, "id must be an integer or null")
+    method = obj.get("method")
+    if not isinstance(method, str) or not method:
+        raise ServeError(E_INVALID_REQUEST, "method must be a non-empty string")
+    params = obj.get("params", {})
+    if not isinstance(params, dict):
+        raise ServeError(E_INVALID_PARAMS, "params must be an object")
+    return request_id, method, params
+
+
+# -- framing ------------------------------------------------------------
+
+
+class LineBuffer:
+    """Incremental newline framing with an oversize-line escape hatch.
+
+    Feed raw socket bytes in; get back a list of events, in order:
+    ``("line", payload)`` for each complete line within the limit, and
+    ``("overflow", discarded_bytes)`` once per oversized line (whose
+    bytes are discarded through its terminating newline, so one abusive
+    request never wedges the connection).
+    """
+
+    def __init__(self, limit: int = MAX_LINE_BYTES) -> None:
+        self.limit = limit
+        self._buf = bytearray()
+        self._discarding = False
+        self._discarded = 0
+
+    def feed(self, data: bytes) -> list[tuple[str, Any]]:
+        events: list[tuple[str, Any]] = []
+        self._buf += data
+        while True:
+            newline = self._buf.find(b"\n")
+            if self._discarding:
+                if newline < 0:
+                    self._discarded += len(self._buf)
+                    self._buf.clear()
+                    break
+                self._discarded += newline + 1
+                del self._buf[: newline + 1]
+                events.append(("overflow", self._discarded))
+                self._discarding = False
+                self._discarded = 0
+                continue
+            if newline < 0:
+                if len(self._buf) > self.limit:
+                    self._discarded = len(self._buf)
+                    self._buf.clear()
+                    self._discarding = True
+                break
+            if newline > self.limit:
+                self._discarded = newline + 1
+                del self._buf[: newline + 1]
+                events.append(("overflow", self._discarded))
+                self._discarded = 0
+                continue
+            line = bytes(self._buf[:newline])
+            del self._buf[: newline + 1]
+            if line.strip():
+                events.append(("line", line))
+        return events

@@ -1,0 +1,131 @@
+"""Session registry: per-tenant quotas and admission control.
+
+The registry is the daemon's only map from session ids to machines, and
+the single place admission decisions are made.  Two principles:
+
+* **Shed, don't queue.** A launch past the per-tenant or daemon-wide
+  session cap fails *now* with a typed ``quota`` / ``busy`` error; the
+  daemon never builds an unbounded backlog a client can't see.
+* **Tenants are invisible to each other.** Every lookup is scoped by
+  tenant: addressing another tenant's session id is indistinguishable
+  from addressing a nonexistent one (``no_such_session``), so session
+  ids leak nothing across the trust boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.protocol import (
+    E_BUSY,
+    E_NO_SUCH_SESSION,
+    E_QUOTA,
+    ServeError,
+)
+from repro.serve.session import Session
+
+#: Daemon-wide session cap (simulated machines are not free: each owns
+#: a full 64 GiB-modelled testbed).
+DEFAULT_MAX_TOTAL_SESSIONS = 16
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Everything one tenant is allowed to consume."""
+
+    #: Concurrent live sessions (parked sessions still count — they hold
+    #: post-mortem state until the tenant kills them).
+    max_sessions: int = 4
+    #: Fuzz actions one ``session.step`` request may apply.
+    max_steps_per_request: int = 256
+    #: Sim-cycles one ``session.run`` request may ask for.
+    max_cycles_per_request: int = 2_000_000_000
+    #: Sim-cycles per scheduler slice: a bigger ``session.run`` is
+    #: chopped into slices this size and round-robined with every other
+    #: tenant's work.
+    max_cycles_per_slice: int = 50_000_000
+    #: Queued ``session.run`` jobs per tenant before admission sheds.
+    max_pending_jobs: int = 2
+    #: Flight-recorder events one ``session.trace`` request may return.
+    max_trace_events: int = 256
+
+
+class SessionRegistry:
+    """Owns every live session, scoped by tenant."""
+
+    def __init__(
+        self,
+        quota: TenantQuota | None = None,
+        max_total_sessions: int = DEFAULT_MAX_TOTAL_SESSIONS,
+    ) -> None:
+        self.quota = quota or TenantQuota()
+        self.max_total_sessions = max_total_sessions
+        self.sessions: dict[str, Session] = {}
+        self.launched = 0
+        self.killed = 0
+
+    # -- admission -------------------------------------------------------
+
+    def sessions_of(self, tenant: str) -> list[Session]:
+        return [s for s in self.sessions.values() if s.tenant == tenant]
+
+    def launch(self, tenant: str, scenario: str, seed: int) -> Session:
+        if len(self.sessions) >= self.max_total_sessions:
+            raise ServeError(
+                E_BUSY,
+                f"daemon at capacity ({self.max_total_sessions} sessions);"
+                " retry later or kill a session",
+            )
+        mine = len(self.sessions_of(tenant))
+        if mine >= self.quota.max_sessions:
+            raise ServeError(
+                E_QUOTA,
+                f"tenant {tenant!r} at its session quota "
+                f"({self.quota.max_sessions}); kill one first",
+            )
+        self.launched += 1
+        session_id = f"s{self.launched}"
+        session = Session(session_id, tenant, scenario, seed)
+        self.sessions[session_id] = session
+        return session
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, tenant: str, session_id: str) -> Session:
+        session = self.sessions.get(str(session_id))
+        if session is None or session.tenant != tenant:
+            raise ServeError(
+                E_NO_SUCH_SESSION, f"no session {session_id!r}"
+            )
+        return session
+
+    def kill(self, tenant: str, session_id: str) -> dict:
+        session = self.get(tenant, session_id)
+        result = session.kill()
+        del self.sessions[session.session_id]
+        self.killed += 1
+        return result
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def by_tenant(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for session in self.sessions.values():
+            out[session.tenant] = out.get(session.tenant, 0) + 1
+        return dict(sorted(out.items()))
+
+    def summary(self) -> dict:
+        return {
+            "sessions": len(self.sessions),
+            "by_tenant": self.by_tenant(),
+            "launched": self.launched,
+            "killed": self.killed,
+            "parked": sum(
+                1 for s in self.sessions.values()
+                if s.state.value == "parked"
+            ),
+            "max_total_sessions": self.max_total_sessions,
+        }

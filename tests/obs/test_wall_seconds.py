@@ -1,0 +1,132 @@
+"""The optional ``wall_seconds`` field: schema validation, the runner
+stamping it outside the deterministic scenario body, and the sentinel's
+wide wall-clock band."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.schema import validate_bench
+from repro.obs.sentinel import (
+    DEFAULT_WALL_SECONDS_REL_TOL,
+    compare_docs,
+    load_tolerances,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_runner():
+    spec = importlib.util.spec_from_file_location(
+        "bench_runner_ws", REPO_ROOT / "benchmarks" / "runner.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return _load_runner()
+
+
+@pytest.fixture(scope="module")
+def recovery_doc(runner):
+    return runner.run_scenario("recovery", quick=True)
+
+
+class TestSchema:
+    def test_absent_wall_seconds_is_valid(self, recovery_doc):
+        assert "wall_seconds" not in recovery_doc  # scenario body is pure
+        assert validate_bench(recovery_doc) == []
+
+    @pytest.mark.parametrize("value", [0, 0.0, 1.5, 3600])
+    def test_sane_values_accepted(self, recovery_doc, value):
+        doc = dict(recovery_doc, wall_seconds=value)
+        assert validate_bench(doc) == []
+
+    @pytest.mark.parametrize("value", [True, False, "1.5", None, [1]])
+    def test_non_numeric_rejected(self, recovery_doc, value):
+        doc = dict(recovery_doc, wall_seconds=value)
+        assert any("wall_seconds" in p for p in validate_bench(doc))
+
+    def test_negative_rejected(self, recovery_doc):
+        doc = dict(recovery_doc, wall_seconds=-0.1)
+        assert any("wall_seconds" in p for p in validate_bench(doc))
+
+
+class TestRunnerStamping:
+    def test_main_stamps_wall_seconds(self, runner, tmp_path, capsys):
+        rc = runner.main(
+            ["--quick", "--only", "recovery", "--out-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        doc = json.loads((tmp_path / "BENCH_recovery.json").read_text())
+        assert isinstance(doc["wall_seconds"], float)
+        assert doc["wall_seconds"] >= 0
+        assert "s wall" in capsys.readouterr().out
+
+    def test_run_scenario_stays_deterministic(self, runner, recovery_doc):
+        # The field must never leak into run_scenario() itself — that
+        # would break byte-identical reruns.
+        again = runner.run_scenario("recovery", quick=True)
+        assert json.dumps(recovery_doc, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
+def _mini_doc(**extra):
+    doc = {"sim_cycles": 1000, "results": []}
+    doc.update(extra)
+    return doc
+
+
+class TestSentinelBand:
+    TOL = {"global": {"sim_cycles_rel_tol": 0.1, "wall_seconds_rel_tol": 2.0}}
+
+    def _wall_findings(self, baseline, candidate, tolerances=None):
+        findings = compare_docs(
+            "recovery", baseline, candidate, tolerances or self.TOL
+        )
+        return [f for f in findings if f.metric == "wall_seconds"]
+
+    def test_compared_only_when_both_docs_carry_it(self):
+        assert self._wall_findings(_mini_doc(), _mini_doc()) == []
+        assert self._wall_findings(
+            _mini_doc(wall_seconds=1.0), _mini_doc()
+        ) == []
+        assert self._wall_findings(
+            _mini_doc(), _mini_doc(wall_seconds=1.0)
+        ) == []
+        findings = self._wall_findings(
+            _mini_doc(wall_seconds=1.0), _mini_doc(wall_seconds=1.5)
+        )
+        assert len(findings) == 1 and findings[0].status == "ok"
+
+    def test_band_trips_on_blowup_not_jitter(self):
+        # 2.9x is within the 2.0 relative band; 3.1x is out.
+        ok = self._wall_findings(
+            _mini_doc(wall_seconds=1.0), _mini_doc(wall_seconds=2.9)
+        )
+        assert ok[0].status == "ok"
+        bad = self._wall_findings(
+            _mini_doc(wall_seconds=1.0), _mini_doc(wall_seconds=3.1)
+        )
+        assert bad[0].status == "out-of-band"
+
+    def test_default_band_used_when_config_lacks_one(self):
+        assert DEFAULT_WALL_SECONDS_REL_TOL == 2.0
+        findings = self._wall_findings(
+            _mini_doc(wall_seconds=1.0), _mini_doc(wall_seconds=10.0),
+            tolerances={"global": {}},
+        )
+        assert findings[0].status == "out-of-band"
+
+    def test_committed_tolerances_carry_the_band(self):
+        tolerances = load_tolerances(REPO_ROOT / "benchmarks" / "tolerances.json")
+        assert tolerances["global"]["wall_seconds_rel_tol"] == 2.0
+        assert tolerances["benches"]["serve"]["metric"] == "requests_per_sec"

@@ -1,0 +1,52 @@
+"""Fixtures for the serving-layer suite: a live daemon on a loopback
+TCP port (ephemeral, so parallel test runs never collide) plus
+connected clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+from repro.serve.registry import TenantQuota
+
+
+@pytest.fixture
+def quota() -> TenantQuota:
+    """A deliberately small quota so limit tests are cheap to trip."""
+    return TenantQuota(
+        max_sessions=2,
+        max_steps_per_request=64,
+        max_cycles_per_request=1_000_000_000,
+        max_cycles_per_slice=20_000_000,
+        max_pending_jobs=2,
+        max_trace_events=64,
+    )
+
+
+@pytest.fixture
+def daemon(quota: TenantQuota):
+    d = ServeDaemon(tcp=("127.0.0.1", 0), quota=quota, max_total_sessions=5)
+    d.start()
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def client(daemon: ServeDaemon):
+    with ServeClient(daemon.endpoint, tenant="t-main", timeout=30.0) as c:
+        yield c
+
+
+@pytest.fixture
+def make_client(daemon: ServeDaemon):
+    made: list[ServeClient] = []
+
+    def factory(tenant: str | None = None) -> ServeClient:
+        c = ServeClient(daemon.endpoint, tenant=tenant, timeout=30.0)
+        made.append(c)
+        return c
+
+    yield factory
+    for c in made:
+        c.close()

@@ -1,0 +1,67 @@
+"""The serve throughput benchmark produces a schema-valid artifact."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.schema import validate_bench
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_serve_throughput",
+        REPO_ROOT / "benchmarks" / "bench_serve_throughput.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def quick_doc(bench):
+    return bench.run_bench(clients=2, requests=8, seed=101, quick=True)
+
+
+class TestBenchServe:
+    def test_artifact_is_schema_valid(self, quick_doc):
+        assert validate_bench(quick_doc) == []
+        assert quick_doc["bench"] == "serve"
+        assert quick_doc["quick"] is True
+
+    def test_carries_throughput_and_latency_figures(self, quick_doc):
+        row = quick_doc["results"][0]
+        assert row["clients"] == 2
+        assert row["requests"] == 16  # every request got a latency sample
+        assert row["requests_per_sec"] > 0
+        assert 0 <= row["p50_ms"] <= row["p99_ms"]
+
+    def test_carries_wall_seconds(self, quick_doc):
+        assert quick_doc["wall_seconds"] > 0
+
+    def test_json_serialisable(self, quick_doc):
+        json.dumps(quick_doc)
+
+    def test_main_writes_and_validates(self, bench, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        rc = bench.main([
+            "--quick", "--clients", "2", "--requests", "6",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench(doc) == []
+        assert "req/s" in capsys.readouterr().out
+
+    def test_percentile_nearest_rank(self, bench):
+        values = [float(v) for v in range(101)]
+        assert bench._percentile(values, 0.50) == 50.0
+        assert bench._percentile(values, 0.99) == 99.0
+        assert bench._percentile([], 0.99) == 0.0
+        assert bench._percentile([7.0], 0.50) == 7.0

@@ -1,0 +1,114 @@
+"""Wire-protocol unit tests: framing, envelopes, typed errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.protocol import (
+    E_INVALID_PARAMS,
+    E_INVALID_REQUEST,
+    E_PARSE,
+    ERROR_CODES,
+    LineBuffer,
+    MAX_LINE_BYTES,
+    ServeError,
+    decode_line,
+    encode_error,
+    encode_request,
+    encode_response,
+    parse_request,
+)
+
+
+class TestEnvelope:
+    def test_request_roundtrip(self):
+        line = encode_request(7, "session.step", {"steps": 4})
+        assert line.endswith(b"\n")
+        rid, method, params = parse_request(decode_line(line))
+        assert (rid, method, params) == (7, "session.step", {"steps": 4})
+
+    def test_response_roundtrip(self):
+        obj = decode_line(encode_response(3, {"x": 1}))
+        assert obj == {"id": 3, "ok": True, "result": {"x": 1}}
+
+    def test_error_roundtrip_carries_code(self):
+        err = ServeError(E_INVALID_PARAMS, "nope", data={"hint": 1})
+        obj = decode_line(encode_error(None, err))
+        assert obj["ok"] is False
+        assert obj["id"] is None
+        assert obj["error"]["code"] == E_INVALID_PARAMS
+        assert obj["error"]["data"] == {"hint": 1}
+
+    def test_malformed_json_is_parse_error(self):
+        with pytest.raises(ServeError) as exc:
+            decode_line(b"{not json")
+        assert exc.value.code == E_PARSE
+
+    def test_non_object_is_invalid_request(self):
+        with pytest.raises(ServeError) as exc:
+            decode_line(b"[1, 2, 3]")
+        assert exc.value.code == E_INVALID_REQUEST
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            {"id": "seven", "method": "ping"},
+            {"id": 1, "method": ""},
+            {"id": 1},
+            {"id": 1, "method": 42},
+        ],
+    )
+    def test_bad_envelopes_rejected(self, obj):
+        with pytest.raises(ServeError) as exc:
+            parse_request(obj)
+        assert exc.value.code == E_INVALID_REQUEST
+
+    def test_non_object_params_is_invalid_params(self):
+        with pytest.raises(ServeError) as exc:
+            parse_request({"id": 1, "method": "ping", "params": [1]})
+        assert exc.value.code == E_INVALID_PARAMS
+
+    def test_missing_id_is_allowed(self):
+        rid, method, params = parse_request({"method": "ping"})
+        assert rid is None and method == "ping" and params == {}
+
+    def test_unknown_error_code_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ServeError("made_up_code", "boom")
+        assert "busy" in ERROR_CODES and "quota" in ERROR_CODES
+
+
+class TestLineBuffer:
+    def test_split_across_feeds(self):
+        buf = LineBuffer()
+        assert buf.feed(b'{"a":') == []
+        assert buf.feed(b"1}\nrest") == [("line", b'{"a":1}')]
+        assert buf.feed(b"\n") == [("line", b"rest")]
+
+    def test_multiple_lines_in_one_feed(self):
+        buf = LineBuffer()
+        events = buf.feed(b"one\ntwo\nthree\n")
+        assert events == [
+            ("line", b"one"), ("line", b"two"), ("line", b"three"),
+        ]
+
+    def test_blank_lines_skipped(self):
+        assert LineBuffer().feed(b"\n  \nx\n") == [("line", b"x")]
+
+    def test_oversized_line_overflows_then_recovers(self):
+        buf = LineBuffer(limit=8)
+        events = buf.feed(b"0123456789abcdef\nok\n")
+        assert events[0][0] == "overflow"
+        assert events[0][1] == 17  # the line plus its newline
+        assert events[1] == ("line", b"ok")
+
+    def test_oversized_line_spanning_feeds(self):
+        buf = LineBuffer(limit=8)
+        assert buf.feed(b"X" * 20) == []  # enters discard mode
+        events = buf.feed(b"Y" * 5 + b"\nok\n")
+        assert events[0][0] == "overflow"
+        assert events[0][1] == 26
+        assert events[1] == ("line", b"ok")
+
+    def test_default_limit_is_the_protocol_cap(self):
+        assert LineBuffer().limit == MAX_LINE_BYTES

@@ -1,0 +1,89 @@
+"""Registry unit tests: quotas, admission, tenant scoping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.protocol import (
+    E_BUSY,
+    E_NO_SUCH_SESSION,
+    E_QUOTA,
+    ServeError,
+)
+from repro.serve.registry import SessionRegistry, TenantQuota
+
+
+@pytest.fixture
+def registry() -> SessionRegistry:
+    return SessionRegistry(
+        quota=TenantQuota(max_sessions=2), max_total_sessions=3
+    )
+
+
+class TestAdmission:
+    def test_launch_assigns_scoped_ids(self, registry):
+        a = registry.launch("alice", "baseline", 1)
+        b = registry.launch("bob", "baseline", 2)
+        assert a.session_id != b.session_id
+        assert registry.get("alice", a.session_id) is a
+        assert registry.get("bob", b.session_id) is b
+
+    def test_tenant_quota_sheds_with_typed_error(self, registry):
+        registry.launch("alice", "baseline", 1)
+        registry.launch("alice", "baseline", 2)
+        with pytest.raises(ServeError) as exc:
+            registry.launch("alice", "baseline", 3)
+        assert exc.value.code == E_QUOTA
+        # Another tenant is unaffected by alice's quota.
+        registry.launch("bob", "baseline", 4)
+
+    def test_global_cap_sheds_busy(self, registry):
+        registry.launch("alice", "baseline", 1)
+        registry.launch("alice", "baseline", 2)
+        registry.launch("bob", "baseline", 3)
+        with pytest.raises(ServeError) as exc:
+            registry.launch("carol", "baseline", 4)
+        assert exc.value.code == E_BUSY
+
+    def test_kill_frees_quota(self, registry):
+        a = registry.launch("alice", "baseline", 1)
+        registry.launch("alice", "baseline", 2)
+        registry.kill("alice", a.session_id)
+        registry.launch("alice", "baseline", 3)  # admitted again
+        assert len(registry) == 2
+        assert registry.killed == 1
+
+
+class TestTenantScoping:
+    def test_foreign_session_id_is_indistinguishable_from_missing(
+        self, registry
+    ):
+        a = registry.launch("alice", "baseline", 1)
+        with pytest.raises(ServeError) as foreign:
+            registry.get("bob", a.session_id)
+        with pytest.raises(ServeError) as missing:
+            registry.get("bob", "s999")
+        assert foreign.value.code == E_NO_SUCH_SESSION
+        assert missing.value.code == E_NO_SUCH_SESSION
+        # Identical shape: nothing in the error reveals existence.
+        assert type(foreign.value.to_error()) is type(missing.value.to_error())
+        assert set(foreign.value.to_error()) == set(missing.value.to_error())
+
+    def test_foreign_kill_rejected_and_session_survives(self, registry):
+        a = registry.launch("alice", "baseline", 1)
+        with pytest.raises(ServeError):
+            registry.kill("bob", a.session_id)
+        assert registry.get("alice", a.session_id) is a
+
+
+class TestSummary:
+    def test_summary_counts(self, registry):
+        registry.launch("alice", "baseline", 1)
+        b = registry.launch("bob", "baseline", 2)
+        registry.kill("bob", b.session_id)
+        summary = registry.summary()
+        assert summary["sessions"] == 1
+        assert summary["launched"] == 2
+        assert summary["killed"] == 1
+        assert summary["by_tenant"] == {"alice": 1}
+        assert summary["parked"] == 0

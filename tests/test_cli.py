@@ -36,3 +36,48 @@ class TestCli:
         assert main(["run", "all"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 8" in out and "Ablation" in out
+
+
+class TestTraceExportPostmortemDir:
+    def test_missing_directory_is_created(self, tmp_path, capsys):
+        target = tmp_path / "not" / "yet" / "there"
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace-export", "--out", str(out),
+            "--postmortem-dir", str(target),
+        ]) == 0
+        assert target.is_dir()
+        # The canonical scenario's containment fault dumps a bundle.
+        assert list(target.glob("postmortem_*.json"))
+        assert "post-mortem" in capsys.readouterr().out
+
+    def test_unwritable_path_is_a_one_line_error(self, tmp_path, capsys):
+        # A path routed through an existing *file* can never become a
+        # directory — even running as root (chmod tricks don't bite
+        # root, this does).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file")
+        assert main([
+            "trace-export", "--out", str(tmp_path / "trace.json"),
+            "--postmortem-dir", str(blocker / "sub"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("trace-export:")
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+
+class TestServeCli:
+    def test_serve_demo_transcript(self, capsys):
+        assert main(["serve-demo", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        for method in ("session.launch", "session.step", "session.run",
+                       "session.inspect", "session.inject", "session.trace",
+                       "session.kill"):
+            assert f"--> {method}" in out
+        assert "serve-demo: ok" in out
+
+    def test_serve_help_routes_to_daemon_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        assert "covirt-serve" in capsys.readouterr().out
