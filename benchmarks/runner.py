@@ -260,6 +260,42 @@ def bench_recovery(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
     return rows
 
 
+def bench_fuzz(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Coverage-guided vs pure-random fuzzing throughput and reach.
+
+    One row per mode with the campaign's deterministic outputs (edge
+    count, corpus size, distilled size).  Wall-clock figures are *not*
+    row data — the scenario body must stay a pure function of
+    (quick, seed); throughput lands in the artifact's ``wall_seconds``.
+    """
+    from repro.fuzz import FuzzCampaign, replay_run
+
+    budget, steps = (16, 30) if quick else (48, 60)
+    rows = []
+    for mode, guided in (("guided", True), ("random", False)):
+        result = FuzzCampaign(
+            budget, workers=1, steps=steps, guided=guided
+        ).run()
+        distilled = result.distilled()
+        rows.append(
+            {
+                "mode": mode,
+                "executions": result.executions,
+                "edges": result.edges,
+                "corpus_entries": len(result.corpus),
+                "distilled_entries": len(distilled.kept),
+                "findings": len(result.findings),
+            }
+        )
+        if guided:
+            # Replay one distilled entry end-to-end: the corpus the
+            # nightly farm uploads must actually reproduce.
+            entry = distilled.kept[0]
+            assert replay_run(entry).matches, "distilled entry diverged"
+    _probe(env)
+    return rows
+
+
 SCENARIOS: dict[str, tuple[str, Callable]] = {
     "fig3": ("Fig. 3: Selfish-Detour noise profile", bench_fig3),
     "fig4": ("Fig. 4: XEMEM attach delay", bench_fig4),
@@ -268,6 +304,7 @@ SCENARIOS: dict[str, tuple[str, Callable]] = {
     "fig7": ("Fig. 7: HPCG scaling over layouts", bench_fig7),
     "fig8": ("Fig. 8: LAMMPS loop times (8c/2n)", bench_fig8),
     "recovery": ("Fault-containment MTTR and checkpoint costs", bench_recovery),
+    "fuzz": ("Coverage-guided vs random fuzzing reach", bench_fuzz),
 }
 
 

@@ -369,8 +369,29 @@ def run_bench_validate(args) -> int:
     return 1 if bad else 0
 
 
-def run_fuzz(args) -> int:
-    """Drive a seeded fuzz campaign; print the transcript and verdict."""
+# Exit-code contract for the fuzz family (fuzz / replay / shrink /
+# distill), pinned by tests/fuzz/test_cli_exitcodes.py:
+#   0 — clean: no finding, no divergence;
+#   1 — a *finding*: an oracle violation or unexpected exception was
+#       (re)produced, or a corpus replay diverged;
+#   2 — internal error: bad arguments, unreadable/incompatible corpus
+#       entries, or a crash in the tool itself.
+FUZZ_EXIT_HELP = (
+    "exit status: 0 clean, 1 finding (oracle violation, unexpected "
+    "exception, or replay divergence), 2 internal error"
+)
+
+
+def _fuzz_internal_error(tool: str, exc: Exception) -> int:
+    import traceback
+
+    traceback.print_exc()
+    print(f"{tool}: internal error: {exc}", file=sys.stderr)
+    return 2
+
+
+def _run_fuzz_single(args) -> int:
+    """One seeded run: print the transcript and verdict."""
     from repro.fuzz import FuzzEngine, SCHEDULES, save_run, shrink_run
 
     if args.schedule not in SCHEDULES:
@@ -381,11 +402,12 @@ def run_fuzz(args) -> int:
         )
         return 2
     engine = FuzzEngine(seed=args.seed, schedule=args.schedule)
-    run = engine.run(args.steps)
+    run = engine.run(args.steps if args.steps is not None else 200)
     for step in run.steps:
         print(step.describe())
     print()
     print(run.describe())
+    print(engine.coverage.describe())
     if args.save is not None:
         path = save_run(run, args.save)
         print(f"[wrote {path}]")
@@ -398,6 +420,64 @@ def run_fuzz(args) -> int:
     return 1 if run.failure is not None else 0
 
 
+def _run_fuzz_campaign(args) -> int:
+    """Coverage-guided (or pure-random) parallel campaign."""
+    from repro.fuzz import FuzzCampaign, save_campaign
+
+    if not args.continuous and not args.budget:
+        print(
+            "fuzz: campaign mode needs --budget N (or --continuous "
+            "--max-seconds S)",
+            file=sys.stderr,
+        )
+        return 2
+    schedules = None
+    if args.schedules:
+        schedules = tuple(
+            s.strip() for s in args.schedules.split(",") if s.strip()
+        )
+    try:
+        campaign = FuzzCampaign(
+            args.budget or 0,
+            workers=args.workers,
+            steps=args.steps if args.steps is not None else 60,
+            schedules=schedules,
+            guided=not args.random,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"fuzz: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    if args.continuous:
+        result = campaign.run_continuous(args.max_seconds, progress=progress)
+    else:
+        result = campaign.run(progress=progress)
+    print(result.describe())
+    print(result.distilled().describe())
+    for run in result.findings:
+        print(f"FINDING: {run.describe()}")
+    if args.out is not None:
+        summary = save_campaign(result, args.out, shrink=args.shrink_on_failure)
+        print(
+            f"[wrote campaign artifacts to {args.out}: "
+            f"{len(summary['files']['corpus'])} corpus entries, "
+            f"{len(summary['files']['findings'])} finding files]"
+        )
+    return 1 if result.findings else 0
+
+
+def run_fuzz(args) -> int:
+    """Fuzz entry point: a single transcripted run by default, a
+    parallel coverage-guided campaign with ``--budget``/``--continuous``."""
+    try:
+        if args.budget is not None or args.continuous:
+            return _run_fuzz_campaign(args)
+        return _run_fuzz_single(args)
+    except Exception as exc:
+        return _fuzz_internal_error("fuzz", exc)
+
+
 def run_replay(args) -> int:
     """Re-execute recorded corpus runs; fail on any divergence."""
     from pathlib import Path
@@ -406,27 +486,36 @@ def run_replay(args) -> int:
     from repro.fuzz.corpus import load_run
 
     target = Path(args.path)
-    entries = (
-        load_corpus(target) if target.is_dir() else [(target, load_run(target))]
-    )
+    try:
+        entries = (
+            load_corpus(target)
+            if target.is_dir()
+            else [(target, load_run(target))]
+        )
+    except (OSError, ValueError) as exc:
+        print(f"replay: {exc}", file=sys.stderr)
+        return 2
     if not entries:
         print(f"no corpus entries under {target}", file=sys.stderr)
         return 2
-    divergent = 0
-    for path, run in entries:
-        result = replay_run(run)
-        status = "ok" if result.matches else "DIVERGED"
-        print(f"{path.name:60s} {run.describe()}")
-        print(f"{'':60s} replay: {status}")
-        if not result.matches:
-            divergent += 1
-            for diff in result.diffs:
-                print(f"{'':62s} {diff}")
-    print(
-        f"\n{len(entries) - divergent}/{len(entries)} corpus entries "
-        f"reproduced byte-for-byte"
-    )
-    return 1 if divergent else 0
+    try:
+        divergent = 0
+        for path, run in entries:
+            result = replay_run(run)
+            status = "ok" if result.matches else "DIVERGED"
+            print(f"{path.name:60s} {run.describe()}")
+            print(f"{'':60s} replay: {status}")
+            if not result.matches:
+                divergent += 1
+                for diff in result.diffs:
+                    print(f"{'':62s} {diff}")
+        print(
+            f"\n{len(entries) - divergent}/{len(entries)} corpus entries "
+            f"reproduced byte-for-byte"
+        )
+        return 1 if divergent else 0
+    except Exception as exc:
+        return _fuzz_internal_error("replay", exc)
 
 
 def run_shrink(args) -> int:
@@ -434,18 +523,66 @@ def run_shrink(args) -> int:
     from repro.fuzz import save_run, shrink_run
     from repro.fuzz.corpus import load_run
 
-    run = load_run(args.path)
+    try:
+        run = load_run(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"shrink: {exc}", file=sys.stderr)
+        return 2
     if run.failure is None:
         print(f"{args.path} recorded a clean run; nothing to shrink")
         return 0
-    result = shrink_run(run, max_executions=args.max_executions)
-    print(result.describe())
-    for step in result.minimized.steps:
-        print(step.describe())
-    if args.save is not None:
-        path = save_run(result.minimized, args.save)
-        print(f"[wrote {path}]")
-    return 0
+    try:
+        result = shrink_run(run, max_executions=args.max_executions)
+        print(result.describe())
+        for step in result.minimized.steps:
+            print(step.describe())
+        if args.save is not None:
+            path = save_run(result.minimized, args.save)
+            print(f"[wrote {path}]")
+        if result.minimized.failure is None:
+            # The recorded failure no longer reproduces — the bug it
+            # pinned is gone (or the entry is stale).  Clean exit.
+            print("recorded failure no longer reproduces")
+            return 0
+        # The minimized run still reproduces a genuine finding.
+        return 1
+    except Exception as exc:
+        return _fuzz_internal_error("shrink", exc)
+
+
+def run_distill(args) -> int:
+    """Reduce a corpus directory to a minimal-covering subset."""
+    from repro.fuzz import distill_runs, load_corpus, save_run
+
+    try:
+        entries = load_corpus(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"distill: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"no corpus entries under {args.path}", file=sys.stderr)
+        return 2
+    try:
+        result = distill_runs([run for _, run in entries])
+        print(result.describe())
+        kept_fps = {run.fingerprint for run in result.kept}
+        for path, run in entries:
+            marker = "keep" if run.fingerprint in kept_fps else "drop"
+            print(f"  {marker}  {path.name}  ({len(run.coverage)} edges)")
+        if args.out is not None:
+            for run in result.kept:
+                save_run(run, args.out)
+            print(f"[wrote {len(result.kept)} distilled entries to {args.out}]")
+        if args.prune:
+            pruned = 0
+            for path, run in entries:
+                if run.fingerprint not in kept_fps:
+                    path.unlink()
+                    pruned += 1
+            print(f"[pruned {pruned} subsumed entries from {args.path}]")
+        return 0
+    except Exception as exc:
+        return _fuzz_internal_error("distill", exc)
 
 
 def run_serve_demo(args) -> int:
@@ -613,23 +750,82 @@ def main(argv: list[str] | None = None) -> int:
     )
     fuzz = sub.add_parser(
         "fuzz",
-        help="seeded deterministic fault-injection campaign "
+        help="seeded deterministic fault-injection fuzzing; --budget/"
+        "--continuous runs a coverage-guided parallel campaign "
         "(see docs/fuzzing.md)",
+        epilog=FUZZ_EXIT_HELP,
     )
     fuzz.add_argument("--seed", type=int, default=0xC0517)
-    fuzz.add_argument("--steps", type=int, default=200)
+    fuzz.add_argument(
+        "--steps", type=int, default=None,
+        help="actions per run (default: 200 single-run, 60 in a campaign)",
+    )
     fuzz.add_argument(
         "--schedule",
         default="baseline",
-        help="action-mix weight table: baseline, hostile, churn, recovery",
+        help="single-run action-mix weight table: baseline, hostile, "
+        "churn, recovery",
     )
     fuzz.add_argument(
-        "--save", metavar="DIR", default=None, help="serialize the run to DIR"
+        "--save", metavar="DIR", default=None,
+        help="single-run mode: serialize the run to DIR",
     )
     fuzz.add_argument(
         "--shrink-on-failure",
         action="store_true",
-        help="on failure, minimize the sequence before exiting",
+        help="minimize failing sequences (ddmin) before exiting",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="campaign mode: execute exactly N runs (deterministic in "
+        "--seed regardless of --workers)",
+    )
+    fuzz.add_argument(
+        "--workers", type=int, default=1, metavar="K",
+        help="campaign mode: multiprocessing workers (default 1)",
+    )
+    fuzz.add_argument(
+        "--schedules", default=None, metavar="A,B,...",
+        help="campaign mode: comma-separated schedule rotation "
+        "(default: all four)",
+    )
+    fuzz.add_argument(
+        "--random", action="store_true",
+        help="campaign mode: disable coverage guidance (pure-random "
+        "baseline; fresh seeds only, no mutation)",
+    )
+    fuzz.add_argument(
+        "--continuous", action="store_true",
+        help="campaign mode: keep fuzzing until --max-seconds elapses "
+        "(the nightly bug-mining farm)",
+    )
+    fuzz.add_argument(
+        "--max-seconds", type=float, default=300.0, metavar="S",
+        help="wall-clock bound for --continuous (default 300)",
+    )
+    fuzz.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="campaign mode: write distilled corpus, findings, "
+        "coverage.json, summary.json under DIR",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true",
+        help="campaign mode: suppress per-batch progress lines",
+    )
+    distill = sub.add_parser(
+        "distill",
+        help="reduce a corpus directory to a minimal-covering subset "
+        "(greedy set cover over coverage edges; failures always kept)",
+        epilog=FUZZ_EXIT_HELP,
+    )
+    distill.add_argument("path", help="corpus directory")
+    distill.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write the distilled entries to DIR",
+    )
+    distill.add_argument(
+        "--prune", action="store_true",
+        help="delete subsumed entries from the corpus directory in place",
     )
     # "serve" is routed to the daemon's own parser before parse_args
     # (see the top of this function); registered here for help listing.
@@ -659,11 +855,15 @@ def main(argv: list[str] | None = None) -> int:
         help="ask the daemon to shut down at the end (CI smoke)",
     )
     replay = sub.add_parser(
-        "replay", help="re-execute a recorded fuzz run (file or corpus dir)"
+        "replay",
+        help="re-execute a recorded fuzz run (file or corpus dir)",
+        epilog=FUZZ_EXIT_HELP,
     )
     replay.add_argument("path", help="corpus .json file or directory")
     shrink = sub.add_parser(
-        "shrink", help="minimize a recorded failing run (ddmin)"
+        "shrink",
+        help="minimize a recorded failing run (ddmin)",
+        epilog=FUZZ_EXIT_HELP,
     )
     shrink.add_argument("path", help="corpus .json file")
     shrink.add_argument("--max-executions", type=int, default=200)
@@ -705,6 +905,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_replay(args)
     if args.command == "shrink":
         return run_shrink(args)
+    if args.command == "distill":
+        return run_distill(args)
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     return run_experiments(names, json_dir=args.json)
 

@@ -43,7 +43,11 @@ def save_run(run: FuzzRun, directory: str | Path, name: str | None = None) -> Pa
 
 
 def load_run(path: str | Path) -> FuzzRun:
-    return FuzzRun.from_json(Path(path).read_text())
+    path = Path(path)
+    try:
+        return FuzzRun.from_json(path.read_text())
+    except ValueError as exc:  # includes json.JSONDecodeError
+        raise ValueError(f"{path}: {exc}") from exc
 
 
 def load_corpus(directory: str | Path) -> list[tuple[Path, FuzzRun]]:

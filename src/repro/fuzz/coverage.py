@@ -1,0 +1,187 @@
+"""Behavioural coverage: the search signal for coverage-guided fuzzing.
+
+The simulator has no compiled-in edge instrumentation to borrow, but it
+emits something better suited to a co-kernel: a structured stream of
+*observable behaviour* — span names from the obs layer (``hv.exit.*``
+dispatches, controller launches, recovery phases, XEMEM operations),
+per-step action outcomes, fault signatures, and oracle verdicts.  This
+module collapses that stream into **edges**: stable, content-hashed ids
+over normalized behaviour features.  A fuzz input is *interesting* when
+its run produces an edge no prior input produced.
+
+Feature kinds (all normalized so volatile specifics — enclave ids,
+addresses, clocks — never mint spurious edges):
+
+* ``step:<kind>:<outcome-class>`` — what an action did;
+* ``span:<name>`` — a span name the step's dispatch closed;
+* ``edge:<kind>-><name>`` — a span name *in the context of* the action
+  kind that provoked it (the closest analogue of an AFL edge);
+* ``pair:<a>-><b>`` — consecutive distinct span closures within a step
+  (control-flow flavour: the same spans in a new order is new
+  behaviour);
+* ``phase:<recovery-phase>`` — a supervisor phase transition;
+* ``oracle:<name>`` — an invariant audit failure.
+
+Hashing a feature gives its **edge id** — 16 hex chars of SHA-256 —
+which is stable across processes, platforms, and worker counts, so
+per-worker coverage maps merge deterministically (set union plus
+commutative hit addition: the merged map is independent of worker count
+and completion order).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Bump when the feature vocabulary or normalization changes: edge ids
+#: from different coverage versions must never be merged.
+COVERAGE_VERSION = 1
+
+_HEX = re.compile(r"0x[0-9a-fA-F]+")
+_NUM = re.compile(r"\d+")
+
+
+def normalize(text: str) -> str:
+    """Collapse volatile specifics: hex addresses become ``<addr>``,
+    decimal runs become ``#`` — the same bug/behaviour at a different
+    address or id must map to the same edge."""
+    return _NUM.sub("#", _HEX.sub("<addr>", text))
+
+
+def edge_id(feature: str) -> str:
+    """The stable 16-hex-char id of one normalized feature."""
+    return hashlib.sha256(feature.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CoverageMap:
+    """Edges seen so far: ``id -> feature`` plus ``id -> hit count``.
+
+    Merging is commutative and associative (union of edges, sum of
+    hits), so folding per-worker maps in any order — or any worker
+    count — yields the same final map.
+    """
+
+    edges: dict[str, str] = field(default_factory=dict)
+    hits: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __contains__(self, eid: str) -> bool:
+        return eid in self.edges
+
+    def ids(self) -> frozenset[str]:
+        return frozenset(self.edges)
+
+    def observe(self, features: Iterable[str]) -> list[str]:
+        """Fold features in; return the ids that were new, in first-seen
+        order."""
+        new: list[str] = []
+        for feature in features:
+            eid = edge_id(feature)
+            if eid not in self.edges:
+                self.edges[eid] = feature
+                new.append(eid)
+            self.hits[eid] = self.hits.get(eid, 0) + 1
+        return new
+
+    def observe_edges(self, edges: dict[str, str], hits: dict[str, int] | None = None) -> list[str]:
+        """Fold another map's raw ``id -> feature`` dict in (a worker's
+        result); returns the new ids sorted so the fold is independent
+        of the dict's insertion order."""
+        new = sorted(eid for eid in edges if eid not in self.edges)
+        for eid in new:
+            self.edges[eid] = edges[eid]
+        for eid in edges:
+            self.hits[eid] = self.hits.get(eid, 0) + (
+                (hits or {}).get(eid, 1)
+            )
+        return new
+
+    def merge(self, other: "CoverageMap") -> None:
+        self.observe_edges(other.edges, other.hits)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "coverage_version": COVERAGE_VERSION,
+            "edges": {
+                eid: {"feature": self.edges[eid], "hits": self.hits.get(eid, 0)}
+                for eid in sorted(self.edges)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CoverageMap":
+        version = data.get("coverage_version")
+        if version != COVERAGE_VERSION:
+            raise ValueError(
+                f"coverage map written by coverage version {version!r}; "
+                f"this build reads version {COVERAGE_VERSION} — regenerate it"
+            )
+        cm = cls()
+        for eid, entry in data.get("edges", {}).items():
+            cm.edges[eid] = str(entry["feature"])
+            cm.hits[eid] = int(entry.get("hits", 0))
+        return cm
+
+    def describe(self) -> str:
+        return f"{len(self.edges)} edges, {sum(self.hits.values())} hits"
+
+
+class StepCoverage:
+    """Per-step feature extractor for one :class:`FuzzEngine` run.
+
+    Passive by construction: it only *reads* span closures and phase
+    transitions (the obs layer's observer hooks), so collecting coverage
+    can never perturb the run's behaviour or its fingerprint.
+    """
+
+    def __init__(self) -> None:
+        self.map = CoverageMap()
+        #: Span names closed since the last drain, in closure order.
+        self._spans: list[str] = []
+        #: Phase features buffered since the last drain.
+        self._phases: list[str] = []
+
+    # -- observer hooks (registered by the engine) ----------------------
+
+    def on_span_close(self, span: Any) -> None:
+        self._spans.append(normalize(span.name))
+
+    def on_phase(self, service: Any, phase: Any) -> None:
+        self._phases.append(f"phase:{phase.value}")
+
+    # -- per-step folding ------------------------------------------------
+
+    def step_features(self, kind: str, outcome: str) -> list[str]:
+        """Features for one completed step; drains the span/phase
+        buffers."""
+        oc = normalize(outcome)
+        features = [f"step:{kind}:{oc}"]
+        spans, self._spans = self._spans, []
+        phases, self._phases = self._phases, []
+        seen: set[str] = set()
+        prev: str | None = None
+        for name in spans:
+            if name not in seen:
+                seen.add(name)
+                features.append(f"span:{name}")
+                features.append(f"edge:{kind}->{name}")
+            if prev is not None and prev != name:
+                pair = f"pair:{prev}->{name}"
+                if pair not in seen:
+                    seen.add(pair)
+                    features.append(pair)
+            prev = name
+        features.extend(phases)
+        return features
+
+    def observe_step(self, kind: str, outcome: str) -> list[str]:
+        return self.map.observe(self.step_features(kind, outcome))
+
+    def observe_oracle(self, oracle: str) -> list[str]:
+        return self.map.observe([f"oracle:{oracle}"])

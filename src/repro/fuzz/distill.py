@@ -1,0 +1,116 @@
+"""Corpus distillation: keep the regression corpus minimal-covering.
+
+A fuzz campaign accretes every coverage-novel run, which is the right
+greedy policy *during* the search but the wrong steady state for a
+committed corpus: later runs often subsume earlier ones.  Distillation
+reduces a set of runs to a subset whose union of coverage edges equals
+the union over the whole input set — greedy set cover, which is within
+ln(n) of optimal and, more importantly here, **deterministic**: ties
+break on (fewer steps, lexicographic fingerprint), so the distilled
+corpus is a pure function of the input set, independent of input order.
+
+Failing runs are never dropped: a reproducer earns its place by the bug
+it pins, not by the edges it covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.fuzz.recorder import FuzzRun
+
+
+@dataclass
+class DistillResult:
+    """Which runs survived and what they cover."""
+
+    kept: list[FuzzRun]
+    dropped: list[FuzzRun]
+    #: Union of input edge ids — by construction also the union over
+    #: ``kept``.
+    covered: frozenset[str] = field(default_factory=frozenset)
+
+    def describe(self) -> str:
+        return (
+            f"distilled {len(self.kept) + len(self.dropped)} -> "
+            f"{len(self.kept)} entries covering {len(self.covered)} edges"
+        )
+
+
+def minimal_cover(
+    items: Sequence[tuple[frozenset[str], tuple]],
+) -> list[int]:
+    """Indexes of a greedy minimal covering subset of ``items``.
+
+    Each item is ``(edge_ids, tie_break)``; at every round the item
+    covering the most still-uncovered edges wins, ties resolved by the
+    smaller ``tie_break`` tuple.  Items contributing nothing new are
+    dropped.  The result is sorted by index for stable output order.
+    """
+    universe: set[str] = set()
+    for edges, _ in items:
+        universe |= edges
+    uncovered = set(universe)
+    chosen: list[int] = []
+    remaining = list(range(len(items)))
+    while uncovered and remaining:
+        best_i = None
+        best_rank: tuple | None = None
+        for i in remaining:
+            gain = len(items[i][0] & uncovered)
+            if gain == 0:
+                continue
+            rank = (-gain, items[i][1])
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_i = i
+        if best_i is None:
+            break
+        chosen.append(best_i)
+        uncovered -= items[best_i][0]
+        remaining.remove(best_i)
+    return sorted(chosen)
+
+
+def _run_edges(run: FuzzRun) -> frozenset[str]:
+    return frozenset(run.coverage)
+
+
+def _tie_break(run: FuzzRun) -> tuple:
+    return (len(run.steps), run.fingerprint)
+
+
+def distill_runs(
+    runs: Iterable[FuzzRun], keep_failures: bool = True
+) -> DistillResult:
+    """Reduce ``runs`` to a minimal-covering subset (plus, by default,
+    every failing run regardless of coverage)."""
+    runs = list(runs)
+    keepers: list[FuzzRun] = []
+    candidates: list[FuzzRun] = []
+    for run in runs:
+        if keep_failures and run.failure is not None:
+            keepers.append(run)
+        else:
+            candidates.append(run)
+    covered_by_keepers: set[str] = set()
+    for run in keepers:
+        covered_by_keepers |= _run_edges(run)
+    universe = set(covered_by_keepers)
+    for run in candidates:
+        universe |= _run_edges(run)
+    # Only edges the keepers don't already pin need covering.
+    items = [
+        (_run_edges(run) - covered_by_keepers, _tie_break(run))
+        for run in candidates
+    ]
+    chosen = set(minimal_cover(items))
+    kept = keepers + [run for i, run in enumerate(candidates) if i in chosen]
+    dropped = [run for i, run in enumerate(candidates) if i not in chosen]
+    # Deterministic output order regardless of input order.
+    kept.sort(key=lambda r: (r.failure is None, _tie_break(r)))
+    dropped.sort(key=lambda r: _tie_break(r))
+    return DistillResult(
+        kept=kept, dropped=dropped, covered=frozenset(universe)
+    )

@@ -26,6 +26,7 @@ from repro.core.commands import CommandType
 from repro.core.faults import EnclaveFaultError
 from repro.core.features import CovirtConfig
 from repro.fuzz.actions import Action, ActionKind
+from repro.fuzz.coverage import StepCoverage
 from repro.fuzz.oracles import OraclePack, OracleViolation
 from repro.fuzz.recorder import FuzzRun, StepRecord, fingerprint_lines
 from repro.fuzz.rng import DEFAULT_SEED, named_stream
@@ -245,6 +246,13 @@ class FuzzEngine:
         self._seg_counter = 0
         self._armed: tuple[str, int] | None = None
         self.env.recovery.phase_hooks.append(self._on_phase)
+        #: Passive behavioural coverage: span closures and recovery
+        #: phases feed per-step features into a :class:`CoverageMap`.
+        #: Observers never touch simulation state, so coverage cannot
+        #: perturb outcomes or fingerprints.
+        self.cov = StepCoverage()
+        self.env.machine.obs.tracer.on_close.append(self.cov.on_span_close)
+        self.env.recovery.phase_hooks.append(self.cov.on_phase)
 
     # -- public driving ----------------------------------------------------
 
@@ -453,12 +461,14 @@ class FuzzEngine:
             self.env.recovery.trace.record(
                 self.env.machine.clock.now, TraceKind.ORACLE, str(violation)
             )
+            self.cov.observe_oracle(violation.oracle)
             if self.failure is None:
                 self.failure = {
                     "step": index,
                     "kind": "oracle",
                     "detail": str(violation),
                 }
+        self.cov.observe_step(action.kind.value, outcome)
         self.steps.append(
             StepRecord(index, action, outcome, self.env.machine.clock.now)
         )
@@ -775,6 +785,11 @@ class FuzzEngine:
         lines.append(f"dead={sorted(self.oracles.dead_enclave_ids)}")
         return fingerprint_lines(lines)
 
+    @property
+    def coverage(self):
+        """The run's accumulated :class:`~repro.fuzz.coverage.CoverageMap`."""
+        return self.cov.map
+
     def _finish(self) -> FuzzRun:
         self._sweep()
         return FuzzRun(
@@ -785,4 +800,5 @@ class FuzzEngine:
             final_clock=self.env.machine.clock.now,
             counters=flatten_counters(self.total_counters()),
             failure=self.failure,
+            coverage=sorted(self.cov.map.ids()),
         )

@@ -32,7 +32,14 @@ from typing import Any
 from repro.fuzz.actions import Action
 
 #: Bump when the record layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Bump when the *engine semantics* change incompatibly: action
+#: vocabulary, schedule weight tables, generation order — anything that
+#: makes an old recording non-replayable even though its JSON still
+#: parses.  Corpus loading refuses mismatches loudly instead of letting
+#: replay diverge mysteriously.
+ENGINE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -84,6 +91,12 @@ class FuzzRun:
     #: where kind is ``oracle`` or ``exception``.
     failure: dict[str, Any] | None = None
     notes: str = ""
+    #: Sorted behavioural-coverage edge ids the run produced (see
+    #: :mod:`repro.fuzz.coverage`).  Advisory metadata: *not* part of the
+    #: fingerprint and not compared on replay, so instrumentation-only
+    #: changes never break corpus entries — but corpus distillation can
+    #: use it without re-executing anything.
+    coverage: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -96,6 +109,7 @@ class FuzzRun:
     def to_dict(self) -> dict[str, Any]:
         return {
             "format": FORMAT_VERSION,
+            "engine": ENGINE_VERSION,
             "seed": self.seed,
             "schedule": self.schedule,
             "steps": [step.to_dict() for step in self.steps],
@@ -104,14 +118,40 @@ class FuzzRun:
             "counters": dict(sorted(self.counters.items())),
             "failure": self.failure,
             "notes": self.notes,
+            "coverage": list(self.coverage),
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "FuzzRun":
-        if data.get("format") != FORMAT_VERSION:
+        if not isinstance(data, dict):
             raise ValueError(
-                f"unsupported corpus format {data.get('format')!r} "
-                f"(this build reads {FORMAT_VERSION})"
+                f"corpus entry must be a JSON object, got {type(data).__name__}"
+            )
+        fmt = data.get("format")
+        if fmt != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported corpus format {fmt!r} (this build reads "
+                f"format {FORMAT_VERSION}); re-record the entry with the "
+                f"current engine"
+            )
+        engine = data.get("engine")
+        if engine != ENGINE_VERSION:
+            raise ValueError(
+                f"corpus entry recorded by engine version {engine!r}, but "
+                f"this build's engine is version {ENGINE_VERSION}; its "
+                f"replay semantics are incompatible — re-record the entry"
+            )
+        missing = [
+            key
+            for key in (
+                "seed", "schedule", "steps", "fingerprint",
+                "final_clock", "counters",
+            )
+            if key not in data
+        ]
+        if missing:
+            raise ValueError(
+                f"corpus entry is missing required keys: {', '.join(missing)}"
             )
         return cls(
             seed=int(data["seed"]),
@@ -122,6 +162,7 @@ class FuzzRun:
             counters={k: int(v) for k, v in data["counters"].items()},
             failure=data.get("failure"),
             notes=str(data.get("notes", "")),
+            coverage=[str(e) for e in data.get("coverage", [])],
         )
 
     def to_json(self) -> str:

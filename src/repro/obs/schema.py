@@ -36,6 +36,9 @@ FIGURE_RESULT_KEYS: dict[str, frozenset[str]] = {
     "fig7": frozenset({"workload", "config", "layout", "fom"}),
     "fig8": frozenset({"workload", "config", "fom"}),
     "recovery": frozenset(),  # heterogeneous rows: summary + per-kind MTTR
+    "fuzz": frozenset(
+        {"mode", "executions", "edges", "corpus_entries", "distilled_entries"}
+    ),
     "serve": frozenset(
         {"clients", "requests", "requests_per_sec", "p50_ms", "p99_ms"}
     ),

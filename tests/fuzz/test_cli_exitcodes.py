@@ -1,0 +1,149 @@
+"""The fuzz-family exit-code contract, pinned.
+
+CI scripting (the nightly farm included) distinguishes three outcomes:
+
+* ``0`` — clean: nothing found, nothing diverged;
+* ``1`` — a finding: an oracle violation / unexpected exception was
+  (re)produced, or a corpus replay diverged;
+* ``2`` — internal error: bad arguments, unreadable or incompatible
+  corpus entries, or a crash in the tool itself.
+
+Everything runs in-process through :func:`repro.cli.main` so the pins
+cover the real dispatch path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.fuzz import FuzzEngine, save_run
+from repro.fuzz.engine import FuzzEngine as EngineClass
+from repro.fuzz.recorder import FuzzRun
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture(scope="module")
+def clean_entry(tmp_path_factory) -> Path:
+    """A small recorded clean run on disk."""
+    run = FuzzEngine(seed=21, schedule="baseline").run(15)
+    assert run.failure is None
+    return save_run(run, tmp_path_factory.mktemp("corpus"))
+
+
+def fabricate_failure(run: FuzzRun) -> FuzzRun:
+    run.failure = {
+        "step": 0,
+        "kind": "oracle",
+        "detail": "[fabricated] injected by test",
+    }
+    return run
+
+
+class TestExitZero:
+    def test_fuzz_clean_single_run(self, capsys):
+        assert cli.main(["fuzz", "--steps", "10", "--seed", "3"]) == 0
+
+    def test_fuzz_clean_campaign(self, capsys):
+        rc = cli.main(
+            ["fuzz", "--budget", "8", "--steps", "10", "--quiet"]
+        )
+        assert rc == 0
+
+    def test_replay_committed_entry(self, capsys):
+        entry = sorted(CORPUS_DIR.glob("*.json"))[0]
+        assert cli.main(["replay", str(entry)]) == 0
+
+    def test_shrink_clean_entry_is_a_noop(self, clean_entry, capsys):
+        assert cli.main(["shrink", str(clean_entry)]) == 0
+
+    def test_distill_corpus_dir(self, clean_entry, capsys):
+        assert cli.main(["distill", str(clean_entry.parent)]) == 0
+
+
+class TestExitOneFinding:
+    def test_fuzz_returns_1_on_oracle_violation(self, monkeypatch, capsys):
+        real_run = EngineClass.run
+
+        def failing_run(self, steps):
+            return fabricate_failure(real_run(self, steps))
+
+        monkeypatch.setattr(EngineClass, "run", failing_run)
+        assert cli.main(["fuzz", "--steps", "5", "--seed", "3"]) == 1
+
+    def test_replay_returns_1_on_divergence(self, tmp_path, capsys):
+        entry = sorted(CORPUS_DIR.glob("*.json"))[0]
+        doc = json.loads(entry.read_text())
+        doc["steps"][0]["outcome"] = "tampered-by-test"
+        bad = tmp_path / "diverges.json"
+        bad.write_text(json.dumps(doc))
+        assert cli.main(["replay", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+
+    def test_shrink_returns_1_when_failure_reproduces(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        run = FuzzEngine(seed=21, schedule="baseline").run(6)
+        path = save_run(fabricate_failure(run), tmp_path)
+
+        # Patch replay so every candidate "reproduces" the failure —
+        # ddmin then minimizes and the CLI must report the finding.
+        def fake_replay(self, actions):
+            mini = FuzzRun(
+                seed=21,
+                schedule="baseline",
+                steps=[],
+                fingerprint="0" * 64,
+                final_clock=0,
+                counters={},
+            )
+            return fabricate_failure(mini)
+
+        monkeypatch.setattr(EngineClass, "replay", fake_replay)
+        assert cli.main(["shrink", str(path), "--max-executions", "8"]) == 1
+
+    def test_shrink_returns_0_when_failure_is_stale(
+        self, tmp_path, capsys
+    ):
+        """A fabricated failure that the real engine does not reproduce:
+        the bug is gone, so the exit is clean."""
+        run = FuzzEngine(seed=21, schedule="baseline").run(6)
+        path = save_run(fabricate_failure(run), tmp_path)
+        assert cli.main(["shrink", str(path), "--max-executions", "8"]) == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+
+class TestExitTwoInternalError:
+    def test_fuzz_unknown_schedule(self, capsys):
+        assert cli.main(["fuzz", "--schedule", "nope", "--steps", "5"]) == 2
+
+    def test_fuzz_campaign_unknown_schedule(self, capsys):
+        rc = cli.main(["fuzz", "--budget", "4", "--schedules", "nope"])
+        assert rc == 2
+
+    def test_fuzz_campaign_without_budget(self, capsys):
+        assert cli.main(["fuzz", "--workers", "2", "--budget", "0"]) == 2
+
+    def test_replay_missing_path(self, capsys):
+        assert cli.main(["replay", "/nonexistent/corpus.json"]) == 2
+
+    def test_replay_rejects_old_format(self, tmp_path, capsys):
+        old = tmp_path / "format1.json"
+        old.write_text(json.dumps({"format": 1, "seed": 0}))
+        assert cli.main(["replay", str(old)]) == 2
+        err = capsys.readouterr().err
+        assert "unsupported corpus format" in err
+        assert "KeyError" not in err
+
+    def test_shrink_unreadable_entry(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.json"
+        bad.write_text("{not json")
+        assert cli.main(["shrink", str(bad)]) == 2
+
+    def test_distill_empty_dir(self, tmp_path, capsys):
+        assert cli.main(["distill", str(tmp_path)]) == 2

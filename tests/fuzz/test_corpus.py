@@ -12,7 +12,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.fuzz import FuzzEngine, FuzzRun, load_corpus, load_run, replay_run, save_run
+from repro.fuzz import (
+    ENGINE_VERSION,
+    FORMAT_VERSION,
+    FuzzEngine,
+    FuzzRun,
+    load_corpus,
+    load_run,
+    replay_run,
+    save_run,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -49,6 +58,58 @@ class TestRoundTrip:
         found = load_corpus(tmp_path)
         assert len(found) == 1
         assert found[0][0] == path
+
+
+class TestVersioning:
+    """Incompatible entries must be rejected with a clear message —
+    never a ``KeyError`` from deep inside deserialization."""
+
+    @pytest.fixture
+    def entry(self) -> dict:
+        return FuzzEngine(seed=4, schedule="baseline").run(5).to_dict()
+
+    def test_current_versions_stamped(self, entry):
+        assert entry["format"] == FORMAT_VERSION
+        assert entry["engine"] == ENGINE_VERSION
+
+    def test_old_format_rejected(self, entry):
+        entry["format"] = 1
+        with pytest.raises(ValueError, match="unsupported corpus format 1"):
+            FuzzRun.from_dict(entry)
+
+    def test_missing_format_rejected(self, entry):
+        del entry["format"]
+        with pytest.raises(ValueError, match="unsupported corpus format"):
+            FuzzRun.from_dict(entry)
+
+    def test_engine_mismatch_rejected(self, entry):
+        entry["engine"] = ENGINE_VERSION + 1
+        with pytest.raises(ValueError, match="engine version"):
+            FuzzRun.from_dict(entry)
+
+    def test_missing_required_keys_named(self, entry):
+        del entry["fingerprint"]
+        del entry["counters"]
+        with pytest.raises(
+            ValueError, match="missing required keys: .*fingerprint"
+        ):
+            FuzzRun.from_dict(entry)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            FuzzRun.from_dict(["not", "a", "run"])  # type: ignore[arg-type]
+
+    def test_load_run_names_the_file(self, tmp_path, entry):
+        entry["format"] = 1
+        path = tmp_path / "stale.json"
+        path.write_text(__import__("json").dumps(entry))
+        with pytest.raises(ValueError, match="stale.json"):
+            load_run(path)
+
+    def test_coverage_field_round_trips(self, entry):
+        run = FuzzRun.from_dict(entry)
+        assert run.coverage == entry["coverage"]
+        assert run.coverage  # engine v2 always records coverage
 
 
 class TestCommittedCorpus:

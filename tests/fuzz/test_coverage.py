@@ -1,0 +1,143 @@
+"""Behavioural coverage: stable edge ids from the obs layer's output.
+
+Coverage is *passive* — it watches the span stream, step outcomes,
+oracle states, and recovery phases the simulator already emits, and
+hashes normalized features into edge ids.  Two invariants matter:
+
+* determinism — identical runs produce identical coverage, and merge
+  order never changes the merged map;
+* independence — coverage is advisory metadata, never part of the run
+  fingerprint and never compared on replay, so instrumentation changes
+  cannot break the committed corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzEngine, replay_run
+from repro.fuzz.coverage import (
+    COVERAGE_VERSION,
+    CoverageMap,
+    StepCoverage,
+    edge_id,
+    normalize,
+)
+
+
+class TestNormalize:
+    def test_digits_collapse(self):
+        assert normalize("enclave 3 core 17") == "enclave # core #"
+
+    def test_hex_addresses_collapse(self):
+        assert normalize("gpa 0xdeadbeef") == "gpa <addr>"
+        assert normalize("at 0x1000 and 0x2000") == "at <addr> and <addr>"
+
+    def test_volatile_ids_never_mint_new_edges(self):
+        assert normalize("launch enclave 1") == normalize("launch enclave 2")
+
+
+class TestEdgeId:
+    def test_stable_across_calls(self):
+        assert edge_id("span:hv.exit.ept") == edge_id("span:hv.exit.ept")
+
+    def test_distinct_features_distinct_ids(self):
+        assert edge_id("span:a") != edge_id("span:b")
+
+    def test_id_shape(self):
+        ident = edge_id("step:launch:ok")
+        assert len(ident) == 16
+        assert int(ident, 16) >= 0
+
+
+class TestCoverageMap:
+    def test_observe_reports_only_new(self):
+        cov = CoverageMap()
+        first = cov.observe(["span:a", "span:b"])
+        assert len(first) == 2
+        again = cov.observe(["span:a", "span:c"])
+        assert len(again) == 1
+        assert len(cov) == 3
+
+    def test_hits_accumulate(self):
+        cov = CoverageMap()
+        cov.observe(["span:a"])
+        cov.observe(["span:a"])
+        (ident,) = cov.ids() & set(cov.hits)
+        assert cov.hits[ident] == 2
+
+    def test_merge_is_commutative(self):
+        a, b = CoverageMap(), CoverageMap()
+        a.observe(["span:a", "span:b"])
+        b.observe(["span:b", "span:c"])
+        ab = CoverageMap()
+        ab.merge(a)
+        ab.merge(b)
+        ba = CoverageMap()
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.to_dict() == ba.to_dict()
+
+    def test_round_trip(self):
+        cov = CoverageMap()
+        cov.observe(["span:a", "pair:a->b"])
+        clone = CoverageMap.from_dict(cov.to_dict())
+        assert clone.to_dict() == cov.to_dict()
+
+    def test_version_mismatch_rejected(self):
+        doc = CoverageMap().to_dict()
+        doc["coverage_version"] = COVERAGE_VERSION + 1
+        with pytest.raises(ValueError, match="coverage version"):
+            CoverageMap.from_dict(doc)
+
+
+class TestEngineCoverage:
+    def test_run_produces_coverage(self):
+        engine = FuzzEngine(seed=1234, schedule="baseline")
+        run = engine.run(30)
+        assert len(engine.coverage) > 20
+        assert run.coverage == sorted(engine.coverage.ids())
+
+    def test_identical_runs_identical_coverage(self):
+        a = FuzzEngine(seed=77, schedule="hostile")
+        b = FuzzEngine(seed=77, schedule="hostile")
+        ra, rb = a.run(30), b.run(30)
+        assert ra.fingerprint == rb.fingerprint
+        assert a.coverage.to_dict() == b.coverage.to_dict()
+
+    def test_feature_families_present(self):
+        engine = FuzzEngine(seed=1234, schedule="churn")
+        engine.run(40)
+        families = {f.split(":", 1)[0] for f in engine.coverage.edges.values()}
+        assert {"step", "span", "edge", "pair"} <= families
+
+    def test_coverage_is_not_fingerprinted(self):
+        """Tampering with the recorded coverage must not affect replay:
+        instrumentation-only changes never break corpus entries."""
+        run = FuzzEngine(seed=55, schedule="baseline").run(25)
+        run.coverage = ["0" * 16]
+        result = replay_run(run)
+        assert result.matches, result.describe()
+
+
+class TestStepCoverage:
+    def test_phases_and_oracles_become_features(self):
+        cov = StepCoverage()
+        cov.observe_oracle("no-cross-enclave-writes")
+        assert any(
+            f.startswith("oracle:") for f in cov.map.edges.values()
+        )
+
+    def test_span_buffer_drains_per_step(self):
+        class Span:
+            name = "hv.exit.ept"
+
+        cov = StepCoverage()
+        cov.on_span_close(Span())
+        cov.observe_step("touch_outside", "fault:ept")
+        features = set(cov.map.edges.values())
+        assert "span:hv.exit.ept" in features
+        assert "edge:touch_outside->hv.exit.ept" in features
+        # Buffer drained: the next step sees no stale spans.
+        cov.observe_step("noop", "ok")
+        assert "edge:noop->hv.exit.ept" not in set(cov.map.edges.values())

@@ -1,0 +1,142 @@
+"""Corpus distillation: greedy set cover with deterministic output.
+
+The load-bearing property (pinned here over synthetic runs and a seed
+sweep): the distilled subset covers **exactly** the union of the input
+coverage — nothing lost, nothing invented — and the result is a pure
+function of the input *set*, independent of input order.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.fuzz import FuzzRun, distill_runs, minimal_cover
+
+
+def make_run(name: str, edges: list[str], failing: bool = False) -> FuzzRun:
+    return FuzzRun(
+        seed=len(name),
+        schedule="baseline",
+        steps=[],
+        fingerprint=name * 8,  # distinct, deterministic, sortable
+        final_clock=0,
+        counters={},
+        failure={"step": 0, "kind": "oracle", "detail": name} if failing else None,
+        coverage=sorted(edges),
+    )
+
+
+class TestMinimalCover:
+    def test_empty(self):
+        assert minimal_cover([]) == []
+
+    def test_single_item_covers_all(self):
+        items = [
+            (frozenset({"a", "b", "c"}), (0, "x")),
+            (frozenset({"a"}), (0, "y")),
+        ]
+        assert minimal_cover(items) == [0]
+
+    def test_greedy_picks_largest_gain_first(self):
+        items = [
+            (frozenset({"a"}), (1, "a")),
+            (frozenset({"b", "c"}), (2, "b")),
+            (frozenset({"a", "d"}), (2, "c")),
+        ]
+        chosen = minimal_cover(items)
+        covered = frozenset().union(*(items[i][0] for i in chosen))
+        assert covered == {"a", "b", "c", "d"}
+        assert 1 in chosen and 2 in chosen
+
+    def test_ties_break_deterministically(self):
+        items = [
+            (frozenset({"a", "b"}), (5, "zz")),
+            (frozenset({"a", "b"}), (5, "aa")),
+        ]
+        # Identical gain — the smaller tie-break tuple wins.
+        assert minimal_cover(items) == [1]
+
+    def test_zero_gain_items_dropped(self):
+        items = [
+            (frozenset({"a", "b"}), (0, "x")),
+            (frozenset({"b"}), (0, "y")),
+            (frozenset(), (0, "z")),
+        ]
+        assert minimal_cover(items) == [0]
+
+
+class TestDistillProperties:
+    def test_output_covers_exactly_the_input_union(self):
+        """Sweep: random corpora, random edge sets — the kept subset's
+        union always equals the input union, exactly."""
+        alphabet = [f"e{i}" for i in range(30)]
+        for seed in range(25):
+            rng = random.Random(seed)
+            runs = [
+                make_run(
+                    f"r{seed}x{i}",
+                    rng.sample(alphabet, rng.randrange(0, 12)),
+                    failing=rng.random() < 0.15,
+                )
+                for i in range(rng.randrange(1, 15))
+            ]
+            expected = set()
+            for run in runs:
+                expected |= set(run.coverage)
+            result = distill_runs(runs)
+            kept_union = set()
+            for run in result.kept:
+                kept_union |= set(run.coverage)
+            assert kept_union == expected, seed
+            assert set(result.covered) == expected, seed
+            assert len(result.kept) + len(result.dropped) == len(runs)
+
+    def test_independent_of_input_order(self):
+        runs = [
+            make_run("a", ["e1", "e2"]),
+            make_run("b", ["e2", "e3"]),
+            make_run("c", ["e1", "e2", "e3"]),
+            make_run("d", ["e4"]),
+        ]
+        fwd = distill_runs(runs)
+        rev = distill_runs(list(reversed(runs)))
+        assert [r.fingerprint for r in fwd.kept] == [
+            r.fingerprint for r in rev.kept
+        ]
+        assert [r.fingerprint for r in fwd.dropped] == [
+            r.fingerprint for r in rev.dropped
+        ]
+
+    def test_subsumed_runs_dropped(self):
+        runs = [
+            make_run("small", ["e1"]),
+            make_run("big", ["e1", "e2", "e3"]),
+        ]
+        result = distill_runs(runs)
+        assert [r.fingerprint for r in result.kept] == ["big" * 8]
+        assert [r.fingerprint for r in result.dropped] == ["small" * 8]
+
+    def test_failures_always_kept(self):
+        runs = [
+            make_run("finding", ["e1"], failing=True),
+            make_run("covering", ["e1", "e2"]),
+        ]
+        result = distill_runs(runs)
+        kept = {r.fingerprint for r in result.kept}
+        assert "finding" * 8 in kept
+        assert "covering" * 8 in kept  # still needed for e2
+
+    def test_failures_can_be_dropped_when_disabled(self):
+        runs = [
+            make_run("finding", ["e1"], failing=True),
+            make_run("covering", ["e1", "e2"]),
+        ]
+        result = distill_runs(runs, keep_failures=False)
+        assert [r.fingerprint for r in result.kept] == ["covering" * 8]
+
+    def test_ties_prefer_shorter_runs(self):
+        long = make_run("long", ["e1", "e2"])
+        long.steps = [None] * 5  # type: ignore[list-item]
+        short = make_run("shrt", ["e1", "e2"])
+        result = distill_runs([long, short])
+        assert [r.fingerprint for r in result.kept] == ["shrt" * 8]

@@ -1,0 +1,115 @@
+"""Seeded property tests for the mutation engine.
+
+No hypothesis dependency — the properties are checked over a seed sweep
+with the stdlib only.  The three contracts that make coverage-guided
+fuzzing sound here:
+
+* **validity** — every mutant of a valid action sequence is itself a
+  valid sequence (slot-addressed actions plus skip semantics mean any
+  well-formed action is applicable in any state);
+* **purity** — a mutant is a pure function of
+  ``(parent_fingerprint, mutation_seed)``: same inputs, same mutant,
+  across calls and processes;
+* **replayability** — every mutant executes end-to-end on a fresh
+  engine without unexpected errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzEngine, mutate_actions
+from repro.fuzz.mutate import (
+    MAX_MUTANT_LEN,
+    MUTATORS,
+    PARAM_DOMAINS,
+    random_action,
+    validate_actions,
+)
+from repro.fuzz.actions import ActionKind
+from repro.fuzz.rng import named_stream
+
+SEED_SWEEP = range(40)
+
+
+@pytest.fixture(scope="module")
+def parent():
+    """One recorded run shared by the sweep (module-scoped: recording
+    is the expensive part)."""
+    return FuzzEngine(seed=1234, schedule="hostile").run(40)
+
+
+class TestDomains:
+    def test_every_action_kind_has_a_domain(self):
+        assert set(PARAM_DOMAINS) == set(ActionKind)
+
+    def test_random_actions_are_valid(self):
+        rng = named_stream("test/random-actions", 7)
+        actions = [random_action(rng) for _ in range(200)]
+        assert validate_actions(actions) == []
+
+    def test_all_kinds_reachable(self):
+        rng = named_stream("test/kind-reach", 7)
+        kinds = {random_action(rng).kind for _ in range(600)}
+        assert kinds == set(ActionKind)
+
+
+class TestMutationProperties:
+    def test_every_mutant_is_valid(self, parent):
+        for seed in SEED_SWEEP:
+            mutant, ops = mutate_actions(
+                parent.actions, parent.fingerprint, seed
+            )
+            problems = validate_actions(mutant)
+            assert problems == [], (seed, ops, problems)
+            assert 0 < len(mutant) <= MAX_MUTANT_LEN
+
+    def test_mutation_is_deterministic_per_parent_and_seed(self, parent):
+        for seed in SEED_SWEEP:
+            a, ops_a = mutate_actions(parent.actions, parent.fingerprint, seed)
+            b, ops_b = mutate_actions(parent.actions, parent.fingerprint, seed)
+            assert ops_a == ops_b
+            assert [x.to_dict() for x in a] == [x.to_dict() for x in b]
+
+    def test_parent_fingerprint_seeds_the_stream(self, parent):
+        """Different parents with the same mutation seed explore
+        different mutants — the fingerprint is part of the RNG stream."""
+        mutant_a, _ = mutate_actions(parent.actions, parent.fingerprint, 3)
+        mutant_b, _ = mutate_actions(parent.actions, "f" * 64, 3)
+        assert [x.to_dict() for x in mutant_a] != [
+            x.to_dict() for x in mutant_b
+        ]
+
+    def test_ops_come_from_the_registry(self, parent):
+        for seed in SEED_SWEEP:
+            _, ops = mutate_actions(parent.actions, parent.fingerprint, seed)
+            assert ops
+            assert set(ops) <= set(MUTATORS)
+
+    def test_seed_sweep_exercises_every_operator(self, parent):
+        applied: set[str] = set()
+        for seed in SEED_SWEEP:
+            _, ops = mutate_actions(parent.actions, parent.fingerprint, seed)
+            applied |= set(ops)
+        assert applied == set(MUTATORS)
+
+
+class TestMutantExecution:
+    def test_mutants_replay_without_unexpected_errors(self, parent):
+        """Skip semantics make every mutant executable: outcomes may be
+        ``skip:``/``refused:``/``fault:``, but never ``error:``."""
+        for seed in range(8):
+            mutant, _ = mutate_actions(parent.actions, parent.fingerprint, seed)
+            run = FuzzEngine(seed=seed, schedule=parent.schedule).replay(mutant)
+            assert len(run.steps) == len(mutant)
+            errors = [
+                s.outcome for s in run.steps if s.outcome.startswith("error:")
+            ]
+            assert errors == []
+
+    def test_mutant_runs_are_deterministic(self, parent):
+        mutant, _ = mutate_actions(parent.actions, parent.fingerprint, 5)
+        a = FuzzEngine(seed=5, schedule=parent.schedule).replay(mutant)
+        b = FuzzEngine(seed=5, schedule=parent.schedule).replay(mutant)
+        assert a.fingerprint == b.fingerprint
+        assert a.coverage == b.coverage

@@ -64,7 +64,19 @@ class TestRunner:
     def test_every_scenario_registered(self, runner):
         assert set(runner.SCENARIOS) == {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "recovery",
+            "fuzz",
         }
+
+    def test_fuzz_scenario_rows_cover_both_modes(self, runner):
+        doc = runner.run_scenario("fuzz", quick=True)
+        assert validate_bench(doc) == []
+        by_mode = {row["mode"]: row for row in doc["results"]}
+        assert set(by_mode) == {"guided", "random"}
+        assert by_mode["guided"]["edges"] > 0
+        assert (
+            by_mode["guided"]["distilled_entries"]
+            <= by_mode["guided"]["corpus_entries"]
+        )
 
     def test_workload_scenario_rows_carry_config_and_fom(self, runner):
         doc = runner.run_scenario("fig5", quick=True)
