@@ -296,6 +296,32 @@ def bench_fuzz(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
     return rows
 
 
+def bench_sweep(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Scenario sweep: per-cell medians across the adaptation grid.
+
+    The sweep itself runs on worker-private environments (workers=1
+    here, so inline); this scenario's own env carries one
+    representative cell re-run plus the probe, so the artifact's exit
+    counts and metrics describe the same machine surface the sweep
+    exercises.  Rows are the per-cell aggregate stats — identical to
+    what ``repro sweep`` emits in its BENCH_sweep.json.
+    """
+    from repro.sweep import SweepExecutor, aggregate, full_spec, quick_spec
+    from repro.sweep.runner import run_cell
+
+    spec = quick_spec() if quick else full_spec()
+    result = SweepExecutor(spec, workers=1).run()
+    if result.failures:
+        cell_id, run = result.failures[0]
+        raise AssertionError(
+            f"sweep cell {cell_id} seed={run.seed} failed: {run.failure}"
+        )
+    cells = spec.cells()
+    run_cell(cells[0], spec.seed_for(cells[0], 0), env=env)
+    _probe(env)
+    return aggregate(result)
+
+
 SCENARIOS: dict[str, tuple[str, Callable]] = {
     "fig3": ("Fig. 3: Selfish-Detour noise profile", bench_fig3),
     "fig4": ("Fig. 4: XEMEM attach delay", bench_fig4),
@@ -305,6 +331,7 @@ SCENARIOS: dict[str, tuple[str, Callable]] = {
     "fig8": ("Fig. 8: LAMMPS loop times (8c/2n)", bench_fig8),
     "recovery": ("Fault-containment MTTR and checkpoint costs", bench_recovery),
     "fuzz": ("Coverage-guided vs random fuzzing reach", bench_fuzz),
+    "sweep": ("Scenario sweep: per-cell medians across the grid", bench_sweep),
 }
 
 

@@ -370,7 +370,7 @@ def run_bench_validate(args) -> int:
 
 
 # Exit-code contract for the fuzz family (fuzz / replay / shrink /
-# distill), pinned by tests/fuzz/test_cli_exitcodes.py:
+# distill / sweep), pinned by tests/fuzz/test_cli_exitcodes.py:
 #   0 — clean: no finding, no divergence;
 #   1 — a *finding*: an oracle violation or unexpected exception was
 #       (re)produced, or a corpus replay diverged;
@@ -583,6 +583,74 @@ def run_distill(args) -> int:
         return 0
     except Exception as exc:
         return _fuzz_internal_error("distill", exc)
+
+
+def _run_sweep_inner(args) -> int:
+    """Scenario sweep: resolve the spec, execute the grid, emit stats
+    artifacts.  Follows the fuzz-family exit contract: 0 clean, 1 when
+    any cell run ends in an oracle violation or unexpected exception,
+    2 on bad input or a crash in the harness itself."""
+    import json
+    from pathlib import Path
+
+    from repro.sweep import (
+        SweepExecutor,
+        SweepSpec,
+        full_spec,
+        quick_spec,
+        render_markdown,
+        write_artifacts,
+    )
+
+    try:
+        if args.spec is not None:
+            spec = SweepSpec.from_dict(
+                json.loads(Path(args.spec).read_text())
+            )
+        elif args.quick:
+            spec = quick_spec(base_seed=args.seed)
+        else:
+            spec = full_spec(base_seed=args.seed)
+        if args.seeds is not None:
+            import dataclasses
+
+            spec = dataclasses.replace(
+                spec, seeds_per_cell=int(args.seeds)
+            )
+        if args.list_cells:
+            for cell in spec.cells():
+                print(cell.cell_id())
+            print(spec.describe())
+            return 0
+        executor = SweepExecutor(spec, workers=args.workers)
+    except (OSError, ValueError) as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    result = executor.run(progress=progress)
+    print(result.describe())
+    print()
+    print(render_markdown(result), end="")
+    for cell_id, run in result.failures:
+        print(
+            f"FINDING: {cell_id} seed={run.seed}: "
+            f"{run.failure['kind']} — {run.failure['detail']}"
+        )
+    if args.out is not None:
+        quick = bool(args.quick) if args.spec is None else False
+        paths = write_artifacts(result, args.out, quick=quick)
+        print(
+            f"[wrote {', '.join(p.name for p in paths.values())} "
+            f"to {args.out}]"
+        )
+    return 1 if result.failures else 0
+
+
+def run_sweep(args) -> int:
+    try:
+        return _run_sweep_inner(args)
+    except Exception as exc:
+        return _fuzz_internal_error("sweep", exc)
 
 
 def run_serve_demo(args) -> int:
@@ -827,6 +895,46 @@ def main(argv: list[str] | None = None) -> int:
         "--prune", action="store_true",
         help="delete subsumed entries from the corpus directory in place",
     )
+    sweep = sub.add_parser(
+        "sweep",
+        help="scenario sweep + adaptation harness: run a cell grid of "
+        "(schedule x enclaves x NUMA x workloads x adaptation x policy) "
+        "seeds and emit per-cell stats artifacts (see docs/scenarios.md)",
+        epilog=FUZZ_EXIT_HELP,
+    )
+    sweep.add_argument("--seed", type=int, default=0xC0517)
+    sweep.add_argument(
+        "--quick", action="store_true",
+        help="the small CI grid (6 cells x 2 seeds) instead of the "
+        "full one",
+    )
+    sweep.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="load a covirt-sweep-spec JSON grid instead of the "
+        "built-in quick/full presets",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="override the spec's seeds_per_cell",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1, metavar="K",
+        help="multiprocessing workers; artifacts are byte-identical "
+        "for any value (default 1)",
+    )
+    sweep.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write sweep.json, tables.md, boxplot.json, and "
+        "BENCH_sweep.json under DIR",
+    )
+    sweep.add_argument(
+        "--list-cells", action="store_true",
+        help="print the grid's cell ids and exit without running",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-batch progress lines",
+    )
     # "serve" is routed to the daemon's own parser before parse_args
     # (see the top of this function); registered here for help listing.
     sub.add_parser(
@@ -907,6 +1015,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_shrink(args)
     if args.command == "distill":
         return run_distill(args)
+    if args.command == "sweep":
+        return run_sweep(args)
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     return run_experiments(names, json_dir=args.json)
 

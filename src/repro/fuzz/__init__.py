@@ -33,7 +33,13 @@ from repro.fuzz.distill import DistillResult, distill_runs, minimal_cover
 from repro.fuzz.engine import FuzzEngine, SCHEDULES
 from repro.fuzz.mutate import MUTATORS, mutate_actions, validate_actions
 from repro.fuzz.oracles import OraclePack, OracleViolation
-from repro.fuzz.pool import CampaignResult, FuzzCampaign, save_campaign
+from repro.fuzz.pool import (
+    BatchStats,
+    CampaignResult,
+    FuzzCampaign,
+    run_batched,
+    save_campaign,
+)
 from repro.fuzz.recorder import (
     ENGINE_VERSION,
     FORMAT_VERSION,
@@ -48,6 +54,7 @@ from repro.fuzz.shrink import ShrinkResult, shrink_run
 __all__ = [
     "Action",
     "ActionKind",
+    "BatchStats",
     "CampaignResult",
     "CoverageMap",
     "DEFAULT_SEED",
@@ -74,6 +81,7 @@ __all__ = [
     "mutate_actions",
     "named_stream",
     "replay_run",
+    "run_batched",
     "save_campaign",
     "save_run",
     "shrink_run",

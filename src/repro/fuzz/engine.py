@@ -273,6 +273,14 @@ class FuzzEngine:
                 break
         return self._finish()
 
+    def finish(self) -> FuzzRun:
+        """Snapshot everything applied so far as a :class:`FuzzRun`.
+
+        :meth:`run` and :meth:`replay` call this implicitly; external
+        drivers that interleave ``run``/``inject`` with direct
+        environment work (the sweep harness) call it once at the end."""
+        return self._finish()
+
     def inject(self, action: Action) -> StepRecord:
         """Apply one externally supplied action and return its step
         record.  This is the serving daemon's ``session.inject`` path:

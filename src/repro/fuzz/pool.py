@@ -27,6 +27,11 @@ actions.
 deadline — the stopping point is nondeterministic but every batch
 within the run is not, which is what a nightly bug-mining farm needs:
 unbounded search, replayable artifacts.
+
+The plan/execute/fold loop itself is :func:`run_batched`, shared with
+the scenario-sweep executor (:mod:`repro.sweep.executor`) so every
+parallel surface in the repo makes the byte-identical-merge guarantee
+through the same code path.
 """
 
 from __future__ import annotations
@@ -53,6 +58,75 @@ BATCH_SIZE = 8
 #: Fraction of guided-mode tasks that stay exploratory (fresh seeds)
 #: even once the corpus has parents to mutate.
 EXPLORE_RATIO = 0.25
+
+
+@dataclass
+class BatchStats:
+    """Progress snapshot :func:`run_batched` hands to ``on_batch``."""
+
+    executed: int = 0
+    batches: int = 0
+
+
+def run_batched(
+    execute: Callable[[dict[str, Any]], dict[str, Any]],
+    plan: Callable[[int], list[dict[str, Any]]],
+    fold: Callable[[dict[str, Any]], None],
+    should_continue: Callable[[int], bool],
+    *,
+    workers: int = 1,
+    batch_size: int = BATCH_SIZE,
+    budget: int = 0,
+    on_batch: Callable[[BatchStats], None] | None = None,
+) -> BatchStats:
+    """The deterministic-merge plan/execute/fold driver.
+
+    Shared by the fuzz campaign and the scenario-sweep executor
+    (:class:`repro.sweep.executor.SweepExecutor`) so both make the same
+    guarantee the same way: batches have a fixed size independent of the
+    worker count, every task in a batch is planned (and any planner RNG
+    consumed) before anything executes, ``Pool.map`` returns results in
+    task order, and ``fold`` is called in that order — so the merged
+    result is byte-identical whether the work ran on 1 worker or 16.
+
+    ``execute`` must be a top-level dict-in/dict-out function (picklable
+    for ``multiprocessing``); ``plan(n)`` returns up to ``n`` task
+    payloads and may return fewer (or none, which stops the loop); a
+    positive ``budget`` caps total executions.
+    """
+    stats = BatchStats()
+    pool = None
+    try:
+        if workers > 1:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            pool = ctx.Pool(processes=workers)
+        while should_continue(stats.executed):
+            n = batch_size
+            if budget > 0:
+                n = min(n, budget - stats.executed)
+            if n <= 0:
+                break
+            batch = plan(n)
+            if not batch:
+                break
+            if pool is not None:
+                results = pool.map(execute, batch)
+            else:
+                results = [execute(p) for p in batch]
+            for result in results:  # Pool.map preserves task order
+                fold(result)
+            stats.executed += len(batch)
+            stats.batches += 1
+            if on_batch is not None:
+                on_batch(stats)
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+    return stats
 
 
 def _execute_payload(payload: dict[str, Any]) -> dict[str, Any]:
@@ -239,41 +313,28 @@ class FuzzCampaign:
         progress: Callable[[str], None] | None = None,
     ) -> CampaignResult:
         t0 = time.perf_counter()
-        executed = 0
-        pool = None
-        try:
-            if self.workers > 1:
-                methods = multiprocessing.get_all_start_methods()
-                ctx = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
+
+        def on_batch(stats: BatchStats) -> None:
+            if progress is not None:
+                progress(
+                    f"[batch {stats.batches}] {stats.executed} execs, "
+                    f"{len(self.coverage)} edges, "
+                    f"{len(self.corpus)} corpus, "
+                    f"{len(self.findings)} findings"
                 )
-                pool = ctx.Pool(processes=self.workers)
-            while should_continue(executed):
-                n = self.batch_size
-                if self.budget > 0:
-                    n = min(n, self.budget - executed)
-                if n <= 0:
-                    break
-                batch = self._plan_batch(n)
-                if pool is not None:
-                    results = pool.map(_execute_payload, batch)
-                else:
-                    results = [_execute_payload(p) for p in batch]
-                for result in results:  # Pool.map preserves task order
-                    self._fold(result)
-                executed += n
-                self._batches += 1
-                if progress is not None:
-                    progress(
-                        f"[batch {self._batches}] {executed} execs, "
-                        f"{len(self.coverage)} edges, "
-                        f"{len(self.corpus)} corpus, "
-                        f"{len(self.findings)} findings"
-                    )
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
+
+        stats = run_batched(
+            _execute_payload,
+            self._plan_batch,
+            self._fold,
+            should_continue,
+            workers=self.workers,
+            batch_size=self.batch_size,
+            budget=self.budget,
+            on_batch=on_batch,
+        )
+        executed = stats.executed
+        self._batches = stats.batches
         return CampaignResult(
             seed=self.seed,
             budget=self.budget,

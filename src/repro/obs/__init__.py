@@ -32,9 +32,12 @@ from repro.obs.metrics import (
 from repro.obs.schema import (
     BENCH_SCHEMA_NAME,
     BENCH_SCHEMA_VERSION,
+    SWEEP_SCHEMA_NAME,
+    SWEEP_SCHEMA_VERSION,
     validate_bench,
     validate_chrome_trace,
     validate_postmortem,
+    validate_sweep,
 )
 from repro.obs.spans import Span, SpanTracer
 
@@ -78,6 +81,8 @@ __all__ = [
     "Observability",
     "POSTMORTEM_SCHEMA_NAME",
     "POSTMORTEM_SCHEMA_VERSION",
+    "SWEEP_SCHEMA_NAME",
+    "SWEEP_SCHEMA_VERSION",
     "Span",
     "SpanTracer",
     "chrome_trace",
@@ -85,5 +90,6 @@ __all__ = [
     "validate_bench",
     "validate_chrome_trace",
     "validate_postmortem",
+    "validate_sweep",
     "write_chrome_trace",
 ]

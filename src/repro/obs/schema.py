@@ -24,6 +24,9 @@ from typing import Any
 BENCH_SCHEMA_NAME = "covirt-bench"
 BENCH_SCHEMA_VERSION = 1
 
+SWEEP_SCHEMA_NAME = "covirt-sweep"
+SWEEP_SCHEMA_VERSION = 1
+
 #: Result-row keys each figure's artifact must carry.  ``bench-validate``
 #: rejects artifacts whose rows miss these (and unknown bench names),
 #: so a renamed column or an unrecognized scenario can never slip
@@ -41,6 +44,17 @@ FIGURE_RESULT_KEYS: dict[str, frozenset[str]] = {
     ),
     "serve": frozenset(
         {"clients", "requests", "requests_per_sec", "p50_ms", "p99_ms"}
+    ),
+    "sweep": frozenset(
+        {
+            "cell",
+            "schedule",
+            "adaptation",
+            "seeds",
+            "median_final_clock",
+            "p95_final_clock",
+            "failures",
+        }
     ),
 }
 
@@ -151,6 +165,88 @@ def validate_bench(doc: Any) -> list[str]:
                 f"results[{i}] missing figure keys for "
                 f"{doc['bench']!r}: {', '.join(sorted(missing))}"
             )
+    return problems
+
+
+#: Every ``sweep.json`` must carry these top-level keys.
+_SWEEP_REQUIRED: tuple[tuple[str, type | tuple[type, ...]], ...] = (
+    ("schema", str),
+    ("schema_version", int),
+    ("quick", bool),
+    ("base_seed", int),
+    ("spec", dict),
+    ("total_runs", int),
+    ("failures", int),
+    ("cells", list),
+)
+
+#: Every per-run record inside a sweep cell must carry these.
+_SWEEP_RUN_KEYS = frozenset(
+    {"cell_id", "seed", "fingerprint", "final_clock", "steps_applied"}
+)
+
+
+def validate_sweep(doc: Any) -> list[str]:
+    """Validate one parsed ``sweep.json`` (covirt-sweep) document."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    for key, types in _SWEEP_REQUIRED:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(doc[key], types):
+            problems.append(
+                f"key {key!r} must be {types}, got {type(doc[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if doc["schema"] != SWEEP_SCHEMA_NAME:
+        problems.append(
+            f"schema must be {SWEEP_SCHEMA_NAME!r}, got {doc['schema']!r}"
+        )
+    if doc["schema_version"] != SWEEP_SCHEMA_VERSION:
+        problems.append(
+            f"unknown schema_version {doc['schema_version']} "
+            f"(this tool understands schema_version {SWEEP_SCHEMA_VERSION})"
+        )
+    if not doc["cells"]:
+        problems.append("cells must not be empty")
+    total = 0
+    for i, cell in enumerate(doc["cells"]):
+        if not isinstance(cell, dict):
+            problems.append(f"cells[{i}] must be an object")
+            continue
+        for key in ("cell", "cell_id", "stats", "runs"):
+            if key not in cell:
+                problems.append(f"cells[{i}] missing {key!r}")
+        runs = cell.get("runs")
+        if not isinstance(runs, list) or not runs:
+            problems.append(f"cells[{i}].runs must be a non-empty array")
+            continue
+        total += len(runs)
+        for j, run in enumerate(runs):
+            if not isinstance(run, dict):
+                problems.append(f"cells[{i}].runs[{j}] must be an object")
+                break
+            missing = _SWEEP_RUN_KEYS - set(run)
+            if missing:
+                problems.append(
+                    f"cells[{i}].runs[{j}] missing "
+                    f"{', '.join(sorted(missing))}"
+                )
+                break
+        stats = cell.get("stats")
+        if isinstance(stats, dict):
+            missing = FIGURE_RESULT_KEYS["sweep"] - set(stats)
+            if missing:
+                problems.append(
+                    f"cells[{i}].stats missing "
+                    f"{', '.join(sorted(missing))}"
+                )
+    if not problems and total != doc["total_runs"]:
+        problems.append(
+            f"total_runs says {doc['total_runs']} but cells carry {total}"
+        )
     return problems
 
 

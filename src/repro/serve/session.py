@@ -271,6 +271,11 @@ class Session:
             "exits_by_reason": registry.exit_counts_by_reason(),
             "postmortems": len(self.env.machine.obs.flight.postmortems),
             "failure": self.engine.failure,
+            # The engine's behavioural-transcript hash: lets clients
+            # (and the cross-subsystem conformance tests) prove a served
+            # run matches a direct-engine or sweep-harness run of the
+            # same (scenario, seed) byte for byte.
+            "fingerprint": self.engine.fingerprint(),
         }
         if include_metrics:
             doc["metrics"] = registry.to_dict()

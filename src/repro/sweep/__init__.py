@@ -1,0 +1,71 @@
+"""repro.sweep — the scenario sweep + adaptation harness.
+
+A schema-versioned grid DSL (:class:`~repro.sweep.spec.SweepSpec`)
+sweeps fault schedules, enclave counts, NUMA shapes, workload mixes,
+recovery policies, and mid-run *adaptations* (enclave reassignment,
+whitelist/EPT rewrites under load, worsening fault ramps); the
+executor runs N derived seeds per cell through the fuzz engine + oracle
+pack + obs layer with the fuzz pool's deterministic-merge guarantee
+(byte-identical artifacts for any worker count); and the artifact
+layer emits per-cell medians/p95s as ``sweep.json`` / ``tables.md`` /
+``boxplot.json`` / ``BENCH_sweep.json``.  See docs/scenarios.md.
+"""
+
+from repro.sweep.adapt import ADAPT_PHASES, ADAPTATIONS, Adaptation
+from repro.sweep.artifact import (
+    BENCH_TITLE,
+    bench_doc,
+    representative_env,
+    sweep_doc,
+    write_artifacts,
+)
+from repro.sweep.executor import SweepExecutor, SweepResult
+from repro.sweep.runner import CellRun, execute_task, run_cell
+from repro.sweep.spec import (
+    NUMA_SHAPES,
+    POLICIES,
+    SPEC_SCHEMA_NAME,
+    SPEC_SCHEMA_VERSION,
+    WORKLOADS,
+    ScenarioCell,
+    SweepSpec,
+    full_spec,
+    quick_spec,
+)
+from repro.sweep.stats import (
+    aggregate,
+    boxplot_doc,
+    cell_row,
+    nearest_rank,
+    render_markdown,
+)
+
+__all__ = [
+    "ADAPTATIONS",
+    "ADAPT_PHASES",
+    "Adaptation",
+    "BENCH_TITLE",
+    "CellRun",
+    "NUMA_SHAPES",
+    "POLICIES",
+    "SPEC_SCHEMA_NAME",
+    "SPEC_SCHEMA_VERSION",
+    "ScenarioCell",
+    "SweepExecutor",
+    "SweepResult",
+    "SweepSpec",
+    "WORKLOADS",
+    "aggregate",
+    "bench_doc",
+    "boxplot_doc",
+    "cell_row",
+    "execute_task",
+    "full_spec",
+    "nearest_rank",
+    "quick_spec",
+    "render_markdown",
+    "representative_env",
+    "run_cell",
+    "sweep_doc",
+    "write_artifacts",
+]

@@ -1,0 +1,219 @@
+"""Adaptation scenarios: reconfigure the machine *while it runs*.
+
+The paper's core claim is that Covirt's asynchronous update protocol
+lets resources be reassigned and protection state rewritten without
+stopping co-kernel workloads.  Each :class:`Adaptation` here is one
+such mid-run reconfiguration pattern, applied at the phase boundaries
+of a sweep cell (the cell's step budget is cut into
+:data:`ADAPT_PHASES` chunks and the adaptation fires between chunks):
+
+* ``reassign`` — mid-run resource reassignment: hot-plug memory into a
+  live enclave, hot-remove another region, and race a revoke against a
+  guest touch (the ReHype-style recovery-under-load shape).
+* ``rewrite`` — whitelist/EPT rewrites under load: allocate and revoke
+  IPI vector grants on live cores (the whitelists rewire through the
+  registry's on_grant/on_revoke hooks) and churn XEMEM exports/attaches
+  (EPT rewrites) while the schedule keeps running.
+* ``ramp`` — a worsening fault-rate ramp: phase ``k`` injects ``k+1``
+  wild accesses / abort-class exceptions, challenging the recovery
+  policy with an accelerating failure arrival rate.
+
+Every adaptation decision draws from its own named RNG stream
+(``sweep/adapt/<cell>/<phase>``) and every injected action goes through
+:meth:`FuzzEngine.inject`, which consumes **no engine RNG** — so an
+adaptation never perturbs the seeded schedule stream around it, and a
+cell's scheduled actions are identical with or without adaptation
+enabled.  After each application the runner audits the full oracle
+pack, so "the rewrite broke an invariant" is a recorded failure, not a
+silent corruption.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fuzz.actions import Action, ActionKind
+from repro.fuzz.rng import FuzzRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fuzz.engine import FuzzEngine
+
+#: Chunks a cell's step budget is divided into when an adaptation is
+#: active; adaptations fire at the interior boundaries (phases 0..2).
+ADAPT_PHASES = 4
+
+
+class Adaptation:
+    """Base: the ``none`` adaptation (also the registry's null object)."""
+
+    name = "none"
+
+    def apply(
+        self, engine: "FuzzEngine", rng: FuzzRng, phase: int
+    ) -> list[str]:
+        """Reconfigure the live machine; return event strings for the
+        cell transcript.  Called only between schedule chunks."""
+        return []
+
+    def _live(self, engine: "FuzzEngine") -> list[int]:
+        return engine._live_slots()
+
+    def _inject(
+        self, engine: "FuzzEngine", kind: ActionKind, params: dict
+    ) -> str:
+        record = engine.inject(Action(kind, params))
+        return f"{kind.value}:{record.outcome}"
+
+
+class Reassign(Adaptation):
+    """Mid-run enclave reassignment: grow, shrink, and race a revoke."""
+
+    name = "reassign"
+
+    def apply(self, engine, rng, phase):
+        live = self._live(engine)
+        if not live:
+            return ["reassign:skip:no-live-slot"]
+        slot = live[rng.randrange(len(live))]
+        zones = engine.env.machine.topology.num_zones
+        events = [
+            self._inject(
+                engine,
+                ActionKind.HOTPLUG_ADD,
+                {
+                    "slot": slot,
+                    "zone": rng.randrange(zones),
+                    "pages": rng.randrange(1, 17),
+                },
+            ),
+            self._inject(
+                engine,
+                ActionKind.HOTPLUG_REMOVE,
+                {"slot": slot, "pick": rng.randrange(8)},
+            ),
+        ]
+        if engine.failure is None:
+            events.append(
+                self._inject(
+                    engine,
+                    ActionKind.REVOKE_THEN_TOUCH,
+                    {"slot": slot, "pick": rng.randrange(8)},
+                )
+            )
+        return events
+
+
+class Rewrite(Adaptation):
+    """Whitelist/EPT rewrites under load.
+
+    Vector grants are allocated (and earlier adaptation grants revoked)
+    directly through the MCP registry — the exact path a management
+    plane would drive — while XEMEM export/attach churn rewrites EPT
+    mappings through injected actions.  The revoke is guarded with
+    ``grant_for``: recovery teardown may have already reclaimed a dead
+    incarnation's grants, and re-revoking those would model a host bug.
+    """
+
+    name = "rewrite"
+
+    def __init__(self) -> None:
+        self._grants: list = []
+
+    def apply(self, engine, rng, phase):
+        live = self._live(engine)
+        if not live:
+            return ["rewrite:skip:no-live-slot"]
+        slot = live[rng.randrange(len(live))]
+        svc = engine.slots[slot]
+        eid = svc.enclave.enclave_id
+        core = svc.enclave.assignment.core_ids[0]
+        vectors = engine.env.mcp.vectors
+        events = []
+        while self._grants:
+            old = self._grants.pop(0)
+            if vectors.grant_for(old.dest_core, old.vector) is old:
+                vectors.revoke(old)
+                events.append(
+                    f"revoke:vec{old.vector}@core{old.dest_core}"
+                )
+                break
+        grant = vectors.allocate(
+            dest_core=core,
+            dest_enclave_id=eid,
+            allowed_senders={eid},
+            purpose=f"sweep-rewrite-p{phase}",
+        )
+        self._grants.append(grant)
+        events.append(f"grant:vec{grant.vector}@core{core}")
+        events.append(
+            self._inject(
+                engine,
+                ActionKind.XEMEM_MAKE,
+                {
+                    "slot": slot,
+                    "name": f"adapt-p{phase}-s{slot}",
+                    "pages": rng.randrange(1, 5),
+                    "off": rng.randrange(32),
+                },
+            )
+        )
+        others = [i for i in live if i != slot]
+        if others and engine.failure is None:
+            events.append(
+                self._inject(
+                    engine,
+                    ActionKind.XEMEM_ATTACH,
+                    {
+                        "slot": others[rng.randrange(len(others))],
+                        "owner": slot,
+                        "pick": rng.randrange(8),
+                    },
+                )
+            )
+        return events
+
+
+class Ramp(Adaptation):
+    """Worsening fault rate: phase ``k`` injects ``k + 1`` faults."""
+
+    name = "ramp"
+
+    def apply(self, engine, rng, phase):
+        events = []
+        for i in range(phase + 1):
+            live = self._live(engine)
+            if not live or engine.failure is not None:
+                events.append(f"ramp:skip@{i}")
+                break
+            slot = live[rng.randrange(len(live))]
+            if i % 2 == 0:
+                events.append(
+                    self._inject(
+                        engine,
+                        ActionKind.TOUCH_OUTSIDE,
+                        {
+                            "slot": slot,
+                            "page": rng.randrange(4096),
+                            "write": rng.random() < 0.5,
+                        },
+                    )
+                )
+            else:
+                events.append(
+                    self._inject(
+                        engine,
+                        ActionKind.RAISE_ABORT,
+                        {"slot": slot, "core": rng.randrange(8)},
+                    )
+                )
+        return events
+
+
+#: Adaptation name -> factory.  Factories, not instances: ``rewrite``
+#: carries per-run grant state, so every cell run gets a fresh one.
+ADAPTATIONS: dict[str, type[Adaptation]] = {
+    "none": Adaptation,
+    "reassign": Reassign,
+    "rewrite": Rewrite,
+    "ramp": Ramp,
+}

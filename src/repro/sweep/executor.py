@@ -1,0 +1,134 @@
+"""The sweep executor: the grid fanned out with a deterministic merge.
+
+Built on the same :func:`repro.fuzz.pool.run_batched` driver the fuzz
+campaign uses, with the same guarantee made the same way: the full task
+list (cell x seed, in spec order) is planned up front, batches have a
+fixed size independent of ``--workers``, ``Pool.map`` returns results
+in task order, and folding happens in that order — so a
+:class:`SweepResult` (and every artifact derived from it) is
+byte-identical whether the sweep ran on 1 worker or 16.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.fuzz.pool import BATCH_SIZE, run_batched
+from repro.sweep.runner import CellRun, execute_task
+from repro.sweep.spec import SweepSpec
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, folded in task order."""
+
+    spec: SweepSpec
+    workers: int
+    #: cell id -> per-seed runs (seed-index order), insertion in the
+    #: spec's deterministic cell order.
+    runs: dict[str, list[CellRun]]
+    wall_seconds: float
+
+    @property
+    def failures(self) -> list[tuple[str, CellRun]]:
+        """Every (cell id, run) that ended in an oracle violation or
+        unexpected exception — the CLI's exit-1 surface."""
+        return [
+            (cell_id, run)
+            for cell_id, cell_runs in self.runs.items()
+            for run in cell_runs
+            if run.failure is not None
+        ]
+
+    @property
+    def total_runs(self) -> int:
+        return sum(len(r) for r in self.runs.values())
+
+    def describe(self) -> str:
+        return (
+            f"sweep: {self.total_runs} runs over {len(self.runs)} cells, "
+            f"{len(self.failures)} failures "
+            f"({self.wall_seconds:.1f}s wall, {self.workers} workers)"
+        )
+
+
+class SweepExecutor:
+    """Plan the grid, execute it batched, fold deterministically."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        *,
+        workers: int = 1,
+        batch_size: int = BATCH_SIZE,
+    ) -> None:
+        problems = spec.validate()
+        if problems:
+            raise ValueError("; ".join(problems))
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        self.batch_size = max(1, int(batch_size))
+        # The complete task list, planned before anything executes: the
+        # plan is a pure function of the spec, never of worker timing.
+        self.tasks: list[dict[str, Any]] = []
+        for cell in spec.cells():
+            for k in range(spec.seeds_per_cell):
+                self.tasks.append(
+                    {
+                        "index": len(self.tasks),
+                        "cell": cell.to_dict(),
+                        "seed": spec.seed_for(cell, k),
+                    }
+                )
+
+    def run(
+        self, progress: Callable[[str], None] | None = None
+    ) -> SweepResult:
+        t0 = time.perf_counter()
+        runs: dict[str, list[CellRun]] = {
+            cell.cell_id(): [] for cell in self.spec.cells()
+        }
+        cursor = 0
+
+        def plan(n: int) -> list[dict[str, Any]]:
+            nonlocal cursor
+            batch = self.tasks[cursor: cursor + n]
+            cursor += len(batch)
+            return batch
+
+        def fold(result: dict[str, Any]) -> None:
+            runs[result["cell_id"]].append(
+                CellRun.from_dict(result["run"])
+            )
+
+        def on_batch(stats) -> None:
+            if progress is not None:
+                failures = sum(
+                    1
+                    for cell_runs in runs.values()
+                    for r in cell_runs
+                    if r.failure is not None
+                )
+                progress(
+                    f"[batch {stats.batches}] "
+                    f"{stats.executed}/{len(self.tasks)} runs, "
+                    f"{failures} failures"
+                )
+
+        run_batched(
+            execute_task,
+            plan,
+            fold,
+            lambda executed: executed < len(self.tasks),
+            workers=self.workers,
+            batch_size=self.batch_size,
+            on_batch=on_batch,
+        )
+        return SweepResult(
+            spec=self.spec,
+            workers=self.workers,
+            runs=runs,
+            wall_seconds=time.perf_counter() - t0,
+        )

@@ -1,0 +1,322 @@
+"""The scenario-generator DSL.
+
+A :class:`SweepSpec` is a schema-versioned grid: each axis names values
+drawn from surfaces the repo already pins — fault schedules are the
+:data:`repro.fuzz.engine.SCHEDULES` weight tables, NUMA shapes index
+the engine's :data:`~repro.fuzz.engine.FUZZ_LAYOUTS`, workloads come
+from the Table-I registry (:func:`repro.workloads.registry
+.workload_by_name`), recovery policies from the supervisor's policy
+set, and adaptations from :data:`repro.sweep.adapt.ADAPTATIONS`.  The
+cartesian product of the axes is the cell list; each
+:class:`ScenarioCell` runs ``seeds_per_cell`` seeds derived from
+``(base_seed, cell id, seed index)`` via the repo-wide
+:func:`~repro.fuzz.rng.derive_seed`, so any single run anywhere in a
+sweep is reproducible from the spec alone.
+
+A cell with ``enclaves == 0`` is *pure*: no prologue launches, no
+adaptation hooks — exactly ``FuzzEngine(seed, schedule).run(steps)``.
+Pure cells are what the cross-subsystem conformance tests lean on: the
+same (schedule, seed, steps) through the direct engine, the ``repro
+sweep`` CLI, and a ``repro.serve`` session must fingerprint
+identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.fuzz.engine import SCHEDULES
+from repro.fuzz.rng import DEFAULT_SEED, derive_seed
+
+SPEC_SCHEMA_NAME = "covirt-sweep-spec"
+SPEC_SCHEMA_VERSION = 1
+
+#: NUMA shape name -> index into :data:`repro.fuzz.engine.FUZZ_LAYOUTS`
+#: (flat: 1 core / 1 zone; split: 1+1 cores across 2 zones; far: 2
+#: cores pinned to the remote zone).
+NUMA_SHAPES: dict[str, int] = {"flat": 0, "split": 1, "far": 2}
+
+#: Recovery-policy name -> index into the engine's policy set
+#: (restart-always, restart-with-backoff, quarantine).
+POLICIES: dict[str, int] = {"restart": 0, "backoff": 1, "quarantine": 2}
+
+#: Workload names a cell's mix may draw on (Table-I registry names).
+WORKLOADS: tuple[str, ...] = (
+    "STREAM",
+    "RandomAccess_OMP",
+    "HPCG",
+    "miniFE",
+)
+
+
+def _adaptation_names() -> tuple[str, ...]:
+    from repro.sweep.adapt import ADAPTATIONS
+
+    return tuple(sorted(ADAPTATIONS))
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One point of the grid: a fully resolved scenario."""
+
+    schedule: str
+    enclaves: int = 0
+    numa: str = "flat"
+    workloads: tuple[str, ...] = ()
+    adaptation: str = "none"
+    policy: str = "restart"
+    steps: int = 40
+
+    def cell_id(self) -> str:
+        """The stable, human-greppable identity of this cell (also the
+        seed-derivation salt, so renaming a cell re-seeds it loudly)."""
+        mix = "+".join(self.workloads) if self.workloads else "-"
+        return (
+            f"{self.schedule}/e{self.enclaves}/{self.numa}/wl={mix}/"
+            f"{self.adaptation}/{self.policy}/s{self.steps}"
+        )
+
+    def validate(self) -> list[str]:
+        problems: list[str] = []
+        if self.schedule not in SCHEDULES:
+            problems.append(
+                f"unknown schedule {self.schedule!r}; "
+                f"choose from {sorted(SCHEDULES)}"
+            )
+        if not 0 <= int(self.enclaves) <= 3:
+            problems.append(
+                f"enclaves must be in 0..3, got {self.enclaves}"
+            )
+        if self.numa not in NUMA_SHAPES:
+            problems.append(
+                f"unknown numa shape {self.numa!r}; "
+                f"choose from {sorted(NUMA_SHAPES)}"
+            )
+        for name in self.workloads:
+            if name not in WORKLOADS:
+                problems.append(
+                    f"unknown workload {name!r}; "
+                    f"choose from {list(WORKLOADS)}"
+                )
+        if self.adaptation not in _adaptation_names():
+            problems.append(
+                f"unknown adaptation {self.adaptation!r}; "
+                f"choose from {list(_adaptation_names())}"
+            )
+        if self.policy not in POLICIES:
+            problems.append(
+                f"unknown policy {self.policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            )
+        if int(self.steps) < 1:
+            problems.append(f"steps must be >= 1, got {self.steps}")
+        if self.enclaves == 0 and (self.workloads or self.adaptation != "none"):
+            problems.append(
+                f"cell {self.cell_id()!r}: workloads and adaptations need "
+                f"enclaves >= 1 (enclaves=0 is the pure-engine cell)"
+            )
+        return problems
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schedule": self.schedule,
+            "enclaves": int(self.enclaves),
+            "numa": self.numa,
+            "workloads": list(self.workloads),
+            "adaptation": self.adaptation,
+            "policy": self.policy,
+            "steps": int(self.steps),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioCell":
+        known = {
+            "schedule", "enclaves", "numa", "workloads", "adaptation",
+            "policy", "steps",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown cell keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            schedule=str(data["schedule"]),
+            enclaves=int(data.get("enclaves", 0)),
+            numa=str(data.get("numa", "flat")),
+            workloads=tuple(data.get("workloads", ())),
+            adaptation=str(data.get("adaptation", "none")),
+            policy=str(data.get("policy", "restart")),
+            steps=int(data.get("steps", 40)),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The grid: axes, seeds per cell, and the base seed.
+
+    ``cells()`` is the cartesian product in axis order — a pure
+    function of the spec, so two processes (or two worker counts)
+    planning the same spec plan the identical task list.
+    """
+
+    schedules: tuple[str, ...] = ("baseline",)
+    enclaves: tuple[int, ...] = (0,)
+    numa_shapes: tuple[str, ...] = ("flat",)
+    workload_mixes: tuple[tuple[str, ...], ...] = ((),)
+    adaptations: tuple[str, ...] = ("none",)
+    policies: tuple[str, ...] = ("restart",)
+    steps: int = 40
+    seeds_per_cell: int = 2
+    base_seed: int = DEFAULT_SEED
+
+    def cells(self) -> list[ScenarioCell]:
+        out = []
+        for sched, enc, numa, mix, adapt, policy in itertools.product(
+            self.schedules,
+            self.enclaves,
+            self.numa_shapes,
+            self.workload_mixes,
+            self.adaptations,
+            self.policies,
+        ):
+            cell = ScenarioCell(
+                schedule=sched,
+                enclaves=int(enc),
+                numa=numa,
+                workloads=tuple(mix),
+                adaptation=adapt,
+                policy=policy,
+                steps=int(self.steps),
+            )
+            # Pure-engine cells (enclaves=0) only make sense unadorned;
+            # the grid silently produces them once, not per mix/adapt.
+            if cell.enclaves == 0 and (cell.workloads or cell.adaptation != "none"):
+                continue
+            if cell not in out:
+                out.append(cell)
+        return out
+
+    def seed_for(self, cell: ScenarioCell, k: int) -> int:
+        """Seed of the ``k``-th run of ``cell`` — pure in (base_seed,
+        cell id, k), and clipped to the engine's printable 32-bit range."""
+        return derive_seed(
+            self.base_seed, f"sweep/{cell.cell_id()}/{k}"
+        ) & 0xFFFFFFFF
+
+    def validate(self) -> list[str]:
+        problems: list[str] = []
+        if int(self.seeds_per_cell) < 1:
+            problems.append(
+                f"seeds_per_cell must be >= 1, got {self.seeds_per_cell}"
+            )
+        cells = self.cells()
+        if not cells:
+            problems.append("spec produces no cells")
+        seen: set[str] = set()
+        for cell in cells:
+            for problem in cell.validate():
+                if problem not in seen:
+                    seen.add(problem)
+                    problems.append(problem)
+        return problems
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SPEC_SCHEMA_NAME,
+            "schema_version": SPEC_SCHEMA_VERSION,
+            "schedules": list(self.schedules),
+            "enclaves": list(self.enclaves),
+            "numa_shapes": list(self.numa_shapes),
+            "workload_mixes": [list(m) for m in self.workload_mixes],
+            "adaptations": list(self.adaptations),
+            "policies": list(self.policies),
+            "steps": int(self.steps),
+            "seeds_per_cell": int(self.seeds_per_cell),
+            "base_seed": int(self.base_seed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"spec must be an object, got {type(data).__name__}"
+            )
+        if data.get("schema") != SPEC_SCHEMA_NAME:
+            raise ValueError(
+                f"spec schema must be {SPEC_SCHEMA_NAME!r}, "
+                f"got {data.get('schema')!r}"
+            )
+        if data.get("schema_version") != SPEC_SCHEMA_VERSION:
+            raise ValueError(
+                f"unknown spec schema_version {data.get('schema_version')!r} "
+                f"(this tool understands {SPEC_SCHEMA_VERSION})"
+            )
+        known = {
+            "schema", "schema_version", "schedules", "enclaves",
+            "numa_shapes", "workload_mixes", "adaptations", "policies",
+            "steps", "seeds_per_cell", "base_seed",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown spec keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            schedules=tuple(data.get("schedules", ("baseline",))),
+            enclaves=tuple(int(e) for e in data.get("enclaves", (0,))),
+            numa_shapes=tuple(data.get("numa_shapes", ("flat",))),
+            workload_mixes=tuple(
+                tuple(m) for m in data.get("workload_mixes", ((),))
+            ),
+            adaptations=tuple(data.get("adaptations", ("none",))),
+            policies=tuple(data.get("policies", ("restart",))),
+            steps=int(data.get("steps", 40)),
+            seeds_per_cell=int(data.get("seeds_per_cell", 2)),
+            base_seed=int(data.get("base_seed", DEFAULT_SEED)),
+        )
+
+    def describe(self) -> str:
+        cells = self.cells()
+        return (
+            f"sweep spec: {len(cells)} cells x {self.seeds_per_cell} seeds "
+            f"= {len(cells) * self.seeds_per_cell} runs "
+            f"({self.steps} steps each, base seed {self.base_seed:#x})"
+        )
+
+
+def quick_spec(base_seed: int = DEFAULT_SEED) -> SweepSpec:
+    """The CI smoke grid: 6 cells x 2 seeds x 24 steps, no workloads.
+
+    Includes one pure-engine cell per schedule (the conformance
+    anchors) and the rewrite adaptation so the smoke job still
+    exercises whitelist/EPT rewrites under load.
+    """
+    return SweepSpec(
+        schedules=("baseline", "churn"),
+        enclaves=(0, 2),
+        numa_shapes=("flat",),
+        workload_mixes=((),),
+        adaptations=("none", "rewrite"),
+        policies=("restart",),
+        steps=24,
+        seeds_per_cell=2,
+        base_seed=base_seed,
+    )
+
+
+def full_spec(base_seed: int = DEFAULT_SEED) -> SweepSpec:
+    """The committed-artifact grid: every schedule and adaptation, two
+    NUMA shapes, a STREAM co-run mix, 3 seeds per cell."""
+    return SweepSpec(
+        schedules=tuple(sorted(SCHEDULES)),
+        enclaves=(2,),
+        numa_shapes=("flat", "split"),
+        workload_mixes=((), ("STREAM",)),
+        adaptations=("none", "reassign", "rewrite", "ramp"),
+        policies=("backoff",),
+        steps=40,
+        seeds_per_cell=3,
+        base_seed=base_seed,
+    )

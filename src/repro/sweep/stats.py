@@ -1,0 +1,121 @@
+"""Deterministic aggregation over a sweep's cell runs.
+
+Everything here is pure arithmetic over the executor's folded results:
+medians via :func:`statistics.median`, p95 via the nearest-rank method
+(no interpolation — integer inputs stay exactly reproducible), and the
+three renderings the CLI writes: per-cell stat rows (the
+``BENCH_sweep.json`` results table), a markdown summary table, and a
+boxplot-ready per-seed document for plotting.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.executor import SweepResult
+    from repro.sweep.runner import CellRun
+    from repro.sweep.spec import ScenarioCell
+
+
+def nearest_rank(values: list[float], q: float) -> float:
+    """The q-quantile by nearest rank: exact, interpolation-free."""
+    if not values:
+        raise ValueError("nearest_rank of an empty list")
+    ordered = sorted(values)
+    rank = max(int(-(-q * len(ordered) // 1)), 1)  # ceil(q*n), >= 1
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _median(values: list[float]) -> float:
+    return round(float(statistics.median(values)), 2)
+
+
+def cell_row(cell: "ScenarioCell", runs: list["CellRun"]) -> dict[str, Any]:
+    """One per-cell stats row (the covirt-bench ``results`` row shape)."""
+    clocks = [float(r.final_clock) for r in runs]
+    row: dict[str, Any] = {
+        "cell": cell.cell_id(),
+        "schedule": cell.schedule,
+        "enclaves": cell.enclaves,
+        "numa": cell.numa,
+        "workloads": "+".join(cell.workloads) if cell.workloads else "-",
+        "adaptation": cell.adaptation,
+        "policy": cell.policy,
+        "steps": cell.steps,
+        "seeds": len(runs),
+        "median_final_clock": _median(clocks),
+        "p95_final_clock": round(nearest_rank(clocks, 0.95), 2),
+        "median_faults": _median([float(r.faults) for r in runs]),
+        "median_steps_applied": _median(
+            [float(r.steps_applied) for r in runs]
+        ),
+        "failures": sum(1 for r in runs if r.failure is not None),
+    }
+    for name in cell.workloads:
+        foms = [
+            r.workload_foms[name] for r in runs if name in r.workload_foms
+        ]
+        row[f"median_fom_{name}"] = _median(foms) if foms else None
+    return row
+
+
+def aggregate(result: "SweepResult") -> list[dict[str, Any]]:
+    """All per-cell rows, in the spec's deterministic cell order."""
+    return [
+        cell_row(cell, result.runs[cell.cell_id()])
+        for cell in result.spec.cells()
+    ]
+
+
+def render_markdown(result: "SweepResult") -> str:
+    """The summary the CLI prints and writes as ``tables.md``."""
+    rows = aggregate(result)
+    total_runs = sum(len(r) for r in result.runs.values())
+    failures = sum(row["failures"] for row in rows)
+    lines = [
+        "# Scenario sweep",
+        "",
+        f"- cells: {len(rows)}",
+        f"- runs: {total_runs} "
+        f"({result.spec.seeds_per_cell} seeds/cell, "
+        f"{result.spec.steps} steps each)",
+        f"- base seed: {result.spec.base_seed:#x}",
+        f"- oracle/exception failures: {failures}",
+        "",
+        "| cell | seeds | median clock | p95 clock | median faults "
+        "| failures |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| `{row['cell']}` | {row['seeds']} "
+            f"| {row['median_final_clock']} | {row['p95_final_clock']} "
+            f"| {row['median_faults']} | {row['failures']} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def boxplot_doc(result: "SweepResult") -> dict[str, Any]:
+    """Per-seed raw points, grouped by cell — feedable straight into a
+    boxplot (one box per cell over ``final_clocks``)."""
+    cells = []
+    for cell in result.spec.cells():
+        runs = result.runs[cell.cell_id()]
+        cells.append(
+            {
+                "cell": cell.cell_id(),
+                "seeds": [r.seed for r in runs],
+                "final_clocks": [r.final_clock for r in runs],
+                "faults": [r.faults for r in runs],
+                "steps_applied": [r.steps_applied for r in runs],
+                "fingerprints": [r.fingerprint for r in runs],
+            }
+        )
+    return {
+        "schema": "covirt-sweep-boxplot",
+        "schema_version": 1,
+        "base_seed": result.spec.base_seed,
+        "cells": cells,
+    }

@@ -28,6 +28,19 @@ CORPUS_DIR = Path(__file__).parent / "corpus"
 
 
 @pytest.fixture(scope="module")
+def tiny_sweep_spec(tmp_path_factory) -> Path:
+    """A one-cell, one-seed pure sweep grid on disk (fast to run)."""
+    from repro.sweep import SweepSpec
+
+    spec = SweepSpec(
+        schedules=("baseline",), enclaves=(0,), steps=8, seeds_per_cell=1
+    )
+    path = tmp_path_factory.mktemp("sweep") / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    return path
+
+
+@pytest.fixture(scope="module")
 def clean_entry(tmp_path_factory) -> Path:
     """A small recorded clean run on disk."""
     run = FuzzEngine(seed=21, schedule="baseline").run(15)
@@ -63,6 +76,17 @@ class TestExitZero:
 
     def test_distill_corpus_dir(self, clean_entry, capsys):
         assert cli.main(["distill", str(clean_entry.parent)]) == 0
+
+    def test_sweep_clean_grid(self, tiny_sweep_spec, capsys):
+        rc = cli.main(["sweep", "--spec", str(tiny_sweep_spec), "--quiet"])
+        assert rc == 0
+
+    def test_sweep_list_cells(self, tiny_sweep_spec, capsys):
+        rc = cli.main(
+            ["sweep", "--spec", str(tiny_sweep_spec), "--list-cells"]
+        )
+        assert rc == 0
+        assert "baseline/e0" in capsys.readouterr().out
 
 
 class TestExitOneFinding:
@@ -118,6 +142,28 @@ class TestExitOneFinding:
         assert "no longer reproduces" in capsys.readouterr().out
 
 
+    def test_sweep_returns_1_on_a_failing_cell(
+        self, tiny_sweep_spec, monkeypatch, capsys
+    ):
+        import repro.sweep.runner as sweep_runner
+
+        real_run_cell = sweep_runner.run_cell
+
+        def failing_run_cell(cell, seed, env=None):
+            run = real_run_cell(cell, seed, env=env)
+            run.failure = {
+                "step": 0,
+                "kind": "oracle",
+                "detail": "[fabricated] injected by test",
+            }
+            return run
+
+        monkeypatch.setattr(sweep_runner, "run_cell", failing_run_cell)
+        rc = cli.main(["sweep", "--spec", str(tiny_sweep_spec), "--quiet"])
+        assert rc == 1
+        assert "FINDING:" in capsys.readouterr().out
+
+
 class TestExitTwoInternalError:
     def test_fuzz_unknown_schedule(self, capsys):
         assert cli.main(["fuzz", "--schedule", "nope", "--steps", "5"]) == 2
@@ -147,3 +193,27 @@ class TestExitTwoInternalError:
 
     def test_distill_empty_dir(self, tmp_path, capsys):
         assert cli.main(["distill", str(tmp_path)]) == 2
+
+    def test_sweep_missing_spec_file(self, capsys):
+        rc = cli.main(["sweep", "--spec", "/nonexistent/spec.json"])
+        assert rc == 2
+
+    def test_sweep_rejects_unknown_spec_schema_version(
+        self, tmp_path, capsys
+    ):
+        from repro.sweep import SweepSpec
+
+        doc = dict(SweepSpec().to_dict(), schema_version=99)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc))
+        assert cli.main(["sweep", "--spec", str(path)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_grid_axis(self, tmp_path, capsys):
+        from repro.sweep import SweepSpec
+
+        doc = dict(SweepSpec().to_dict(), schedules=["nope"])
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(doc))
+        assert cli.main(["sweep", "--spec", str(path)]) == 2
+        assert "unknown schedule" in capsys.readouterr().err

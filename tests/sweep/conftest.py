@@ -1,0 +1,17 @@
+"""Shared fixtures for the sweep-harness suite.
+
+The quick grid (6 cells x 2 seeds x 24 steps) takes well under a
+second single-worker, so one session-scoped run backs every test that
+needs a folded :class:`~repro.sweep.executor.SweepResult`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import SweepExecutor, quick_spec
+
+
+@pytest.fixture(scope="session")
+def quick_result():
+    return SweepExecutor(quick_spec(), workers=1).run()

@@ -1,0 +1,143 @@
+"""Adaptation scenarios: mid-run reconfiguration under oracle audit.
+
+The property the paper's adaptation story needs — and these tests pin —
+is that reassigning resources, rewriting whitelist/EPT state, and
+ramping the fault rate *while the schedule keeps running* never
+violates an ownership, EPT, whitelist, or accounting oracle: every
+``run_cell`` below must come back with ``failure is None`` across
+seeds, schedules, and NUMA shapes.
+
+The quick grid's aggregate stats are additionally pinned against
+``golden/quick_stats.json``; regenerate after an intentional
+behavioural change with::
+
+    pytest tests/sweep/test_adapt.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sweep import ADAPT_PHASES, ADAPTATIONS, aggregate, quick_spec
+from repro.sweep.adapt import Rewrite
+from repro.sweep.runner import _chunks, run_cell
+from repro.sweep.spec import ScenarioCell
+
+pytestmark = pytest.mark.sweep
+
+GOLDEN = Path(__file__).parent / "golden" / "quick_stats.json"
+
+ADAPT_NAMES = ("reassign", "rewrite", "ramp")
+
+
+def _cell(adaptation: str, schedule: str = "baseline", **kwargs) -> ScenarioCell:
+    kwargs.setdefault("enclaves", 2)
+    kwargs.setdefault("steps", 24)
+    return ScenarioCell(schedule=schedule, adaptation=adaptation, **kwargs)
+
+
+class TestRegistry:
+    def test_every_adaptation_registered(self):
+        assert set(ADAPTATIONS) == {"none", "reassign", "rewrite", "ramp"}
+
+    def test_factories_yield_fresh_state(self):
+        # ``rewrite`` carries per-run grant state; sharing one instance
+        # across runs would leak grants between cells.
+        a, b = ADAPTATIONS["rewrite"](), ADAPTATIONS["rewrite"]()
+        assert isinstance(a, Rewrite) and a is not b
+        assert a._grants == [] and a._grants is not b._grants
+
+    def test_chunk_plan_covers_the_budget(self):
+        for steps in (1, 7, 24, 40):
+            plan = _chunks(steps, ADAPT_PHASES)
+            assert len(plan) == ADAPT_PHASES
+            assert sum(plan) == steps
+            assert all(c >= 0 for c in plan)
+
+
+class TestAdaptationProperties:
+    @pytest.mark.parametrize("adaptation", ADAPT_NAMES)
+    @pytest.mark.parametrize("seed", [7, 1234, 0xC0517])
+    def test_never_violates_an_oracle(self, adaptation, seed):
+        run = run_cell(_cell(adaptation), seed)
+        assert run.failure is None, run.failure
+        assert run.steps_applied >= 24  # prologue + full schedule
+
+    @pytest.mark.parametrize("adaptation", ADAPT_NAMES)
+    @pytest.mark.parametrize("schedule", ["hostile", "recovery"])
+    def test_holds_under_hostile_schedules(self, adaptation, schedule):
+        run = run_cell(_cell(adaptation, schedule=schedule), seed=99)
+        assert run.failure is None, run.failure
+
+    @pytest.mark.parametrize("numa", ["flat", "split", "far"])
+    def test_holds_across_numa_shapes(self, numa):
+        run = run_cell(_cell("reassign", numa=numa), seed=11)
+        assert run.failure is None, run.failure
+
+    @pytest.mark.parametrize("policy", ["restart", "backoff", "quarantine"])
+    def test_ramp_holds_under_every_recovery_policy(self, policy):
+        run = run_cell(_cell("ramp", policy=policy, steps=32), seed=5)
+        assert run.failure is None, run.failure
+
+    @pytest.mark.parametrize("adaptation", ADAPT_NAMES)
+    def test_pure_in_cell_and_seed(self, adaptation):
+        cell = _cell(adaptation)
+        first, second = run_cell(cell, 42), run_cell(cell, 42)
+        assert first.fingerprint == second.fingerprint
+        assert first.adapt_events == second.adapt_events
+        assert first.to_dict() == second.to_dict()
+
+    def test_adaptations_actually_fire(self):
+        run = run_cell(_cell("rewrite"), seed=3)
+        grants = [e for e in run.adapt_events if e.startswith("grant:vec")]
+        assert grants, run.adapt_events
+        assert any(e.startswith("xemem_make:") for e in run.adapt_events)
+        ramp = run_cell(_cell("ramp"), seed=3)
+        injected = [
+            e
+            for e in ramp.adapt_events
+            if e.startswith(("touch_outside:", "raise_abort:"))
+        ]
+        # Phases 0..2 fire 1 + 2 + 3 injections unless a slot died.
+        assert 1 <= len(injected) <= 6
+
+    def test_rewrite_revokes_superseded_grants(self):
+        run = run_cell(_cell("rewrite", steps=32), seed=8)
+        revokes = [e for e in run.adapt_events if e.startswith("revoke:vec")]
+        grants = [e for e in run.adapt_events if e.startswith("grant:vec")]
+        assert revokes, run.adapt_events
+        # The adaptation's own residue is bounded: each phase revokes
+        # its predecessor's grant (when still live), so outstanding
+        # adaptation grants never accumulate across the whole run.
+        # (``active_grants`` itself also counts schedule-made grants.)
+        assert len(grants) - len(revokes) <= ADAPT_PHASES - 1
+
+    def test_prologue_launches_every_requested_slot(self):
+        run = run_cell(_cell("none", enclaves=2), seed=1)
+        prologue = [e for e in run.adapt_events if e.startswith("prologue:")]
+        assert len(prologue) == 2
+        assert all("ok" in e for e in prologue)
+
+
+class TestGoldenStats:
+    def test_quick_grid_stats_match_the_checked_in_golden(
+        self, quick_result, update_golden
+    ):
+        rendered = json.dumps(aggregate(quick_result), indent=1, sort_keys=True) + "\n"
+        if update_golden:
+            GOLDEN.parent.mkdir(exist_ok=True)
+            GOLDEN.write_text(rendered)
+        assert rendered == GOLDEN.read_text(), (
+            "quick-grid sweep stats diverged from tests/sweep/golden/"
+            "quick_stats.json — if the behavioural change is intentional,"
+            " rerun with --update-golden"
+        )
+
+    def test_golden_covers_the_whole_quick_grid(self, quick_result):
+        golden = json.loads(GOLDEN.read_text())
+        assert [row["cell"] for row in golden] == [
+            c.cell_id() for c in quick_spec().cells()
+        ]

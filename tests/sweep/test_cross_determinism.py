@@ -1,0 +1,115 @@
+"""Cross-subsystem conformance: one (scenario, seed) — three surfaces.
+
+A *pure* sweep cell (``enclaves == 0``) is by construction exactly
+``FuzzEngine(seed, schedule).run(steps)``.  These tests drive the same
+(schedule, seed, steps) through
+
+1. the direct fuzz engine,
+2. the ``repro sweep`` CLI (spec file -> sweep.json run records), and
+3. a ``repro.serve`` :class:`~repro.serve.session.Session`
+
+and require identical behavioural fingerprints and metric snapshots —
+so the sweep harness and the serving daemon are provably running the
+*same* simulated machine, not three lookalikes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.fuzz.engine import FuzzEngine
+from repro.serve.session import Session
+from repro.sweep import SweepSpec, quick_spec
+from repro.sweep.runner import run_cell
+
+pytestmark = pytest.mark.sweep
+
+SCHEDULE = "baseline"
+STEPS = 24
+BASE_SEED = 0x5EED
+
+
+@pytest.fixture(scope="module")
+def pure_spec() -> SweepSpec:
+    return SweepSpec(
+        schedules=(SCHEDULE,),
+        enclaves=(0,),
+        steps=STEPS,
+        seeds_per_cell=1,
+        base_seed=BASE_SEED,
+    )
+
+
+@pytest.fixture(scope="module")
+def derived_seed(pure_spec) -> int:
+    return pure_spec.seed_for(pure_spec.cells()[0], 0)
+
+
+@pytest.fixture(scope="module")
+def direct_run(derived_seed):
+    return FuzzEngine(seed=derived_seed, schedule=SCHEDULE).run(STEPS)
+
+
+@pytest.fixture(scope="module")
+def cli_record(pure_spec, derived_seed, tmp_path_factory):
+    out = tmp_path_factory.mktemp("sweep-out")
+    spec_path = out / "spec.json"
+    spec_path.write_text(json.dumps(pure_spec.to_dict()))
+    rc = cli.main(
+        ["sweep", "--spec", str(spec_path), "--out", str(out), "--quiet"]
+    )
+    assert rc == 0
+    doc = json.loads((out / "sweep.json").read_text())
+    (record,) = doc["cells"][0]["runs"]
+    return record
+
+
+class TestEngineVsSweep:
+    def test_pure_cell_is_the_direct_engine_run(self, direct_run, derived_seed):
+        cell = quick_spec().cells()[0]  # any pure cell shape
+        run = run_cell(
+            type(cell)(schedule=SCHEDULE, enclaves=0, steps=STEPS),
+            derived_seed,
+        )
+        assert run.fingerprint == direct_run.fingerprint
+        assert run.final_clock == direct_run.final_clock
+        assert run.steps_applied == len(direct_run.steps)
+
+    def test_cli_run_record_matches_the_direct_engine(
+        self, cli_record, direct_run, derived_seed
+    ):
+        assert cli_record["seed"] == derived_seed
+        assert cli_record["fingerprint"] == direct_run.fingerprint
+        assert cli_record["final_clock"] == direct_run.final_clock
+        assert cli_record["steps_applied"] == len(direct_run.steps)
+
+
+class TestServeVsSweep:
+    def test_served_session_fingerprints_identically(
+        self, cli_record, derived_seed
+    ):
+        session = Session("conform", "tenant", SCHEDULE, derived_seed)
+        session.step(STEPS)
+        doc = session.inspect()
+        assert doc["fingerprint"] == cli_record["fingerprint"]
+        assert doc["clock"] == cli_record["final_clock"]
+        assert doc["steps_applied"] == cli_record["steps_applied"]
+
+    def test_sliced_serving_converges_to_the_same_fingerprint(
+        self, cli_record, derived_seed
+    ):
+        """Chunked driving (as a real client would) must land on the
+        same transcript as one straight run."""
+        session = Session("conform2", "tenant", SCHEDULE, derived_seed)
+        for chunk in (10, 10, 4):
+            session.step(chunk)
+        assert session.inspect()["fingerprint"] == cli_record["fingerprint"]
+
+    def test_metric_snapshots_agree(self, cli_record, derived_seed):
+        session = Session("conform3", "tenant", SCHEDULE, derived_seed)
+        session.step(STEPS)
+        exits = session.inspect()["exits_by_reason"]
+        assert exits == cli_record["exits_by_reason"]

@@ -1,0 +1,162 @@
+"""The scenario-generator DSL: grid expansion, validation, round-trips,
+and the seed-derivation contract."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.engine import SCHEDULES
+from repro.fuzz.rng import DEFAULT_SEED
+from repro.sweep import (
+    SPEC_SCHEMA_NAME,
+    SPEC_SCHEMA_VERSION,
+    ScenarioCell,
+    SweepSpec,
+    full_spec,
+    quick_spec,
+)
+
+pytestmark = pytest.mark.sweep
+
+
+class TestScenarioCell:
+    def test_cell_id_encodes_every_axis(self):
+        cell = ScenarioCell(
+            schedule="hostile",
+            enclaves=2,
+            numa="split",
+            workloads=("STREAM", "HPCG"),
+            adaptation="rewrite",
+            policy="backoff",
+            steps=40,
+        )
+        assert cell.cell_id() == (
+            "hostile/e2/split/wl=STREAM+HPCG/rewrite/backoff/s40"
+        )
+
+    def test_round_trip(self):
+        cell = ScenarioCell("churn", 1, "far", ("miniFE",), "ramp", "quarantine", 16)
+        assert ScenarioCell.from_dict(cell.to_dict()) == cell
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown cell keys: typo"):
+            ScenarioCell.from_dict({"schedule": "baseline", "typo": 1})
+
+    @pytest.mark.parametrize(
+        "kwargs, fragment",
+        [
+            ({"schedule": "nope"}, "unknown schedule"),
+            ({"schedule": "baseline", "enclaves": 4}, "enclaves must be"),
+            ({"schedule": "baseline", "numa": "donut"}, "unknown numa shape"),
+            (
+                {"schedule": "baseline", "enclaves": 1, "workloads": ("BadWL",)},
+                "unknown workload",
+            ),
+            (
+                {"schedule": "baseline", "enclaves": 1, "adaptation": "nope"},
+                "unknown adaptation",
+            ),
+            ({"schedule": "baseline", "policy": "nope"}, "unknown policy"),
+            ({"schedule": "baseline", "steps": 0}, "steps must be"),
+        ],
+    )
+    def test_validate_names_the_bad_axis(self, kwargs, fragment):
+        problems = ScenarioCell(**kwargs).validate()
+        assert any(fragment in p for p in problems), problems
+
+    def test_pure_cell_forbids_workloads_and_adaptations(self):
+        cell = ScenarioCell("baseline", enclaves=0, workloads=("STREAM",))
+        assert any("pure-engine" in p for p in cell.validate())
+        cell = ScenarioCell("baseline", enclaves=0, adaptation="ramp")
+        assert any("pure-engine" in p for p in cell.validate())
+
+    def test_valid_cell_has_no_problems(self):
+        assert ScenarioCell("baseline", enclaves=2, adaptation="reassign").validate() == []
+
+
+class TestSweepSpec:
+    def test_round_trip(self):
+        spec = full_spec()
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert [c.cell_id() for c in again.cells()] == [
+            c.cell_id() for c in spec.cells()
+        ]
+
+    def test_to_dict_carries_the_schema_header(self):
+        doc = quick_spec().to_dict()
+        assert doc["schema"] == SPEC_SCHEMA_NAME
+        assert doc["schema_version"] == SPEC_SCHEMA_VERSION
+
+    def test_from_dict_rejects_wrong_schema_and_version(self):
+        doc = quick_spec().to_dict()
+        with pytest.raises(ValueError, match="schema must be"):
+            SweepSpec.from_dict(dict(doc, schema="other"))
+        with pytest.raises(ValueError, match="unknown spec schema_version"):
+            SweepSpec.from_dict(dict(doc, schema_version=99))
+        with pytest.raises(ValueError, match="must be an object"):
+            SweepSpec.from_dict([1, 2])
+
+    def test_from_dict_rejects_unknown_keys(self):
+        doc = dict(quick_spec().to_dict(), extra_axis=[1])
+        with pytest.raises(ValueError, match="unknown spec keys: extra_axis"):
+            SweepSpec.from_dict(doc)
+
+    def test_pure_cells_appear_once_not_per_mix_or_adaptation(self):
+        spec = quick_spec()
+        ids = [c.cell_id() for c in spec.cells()]
+        assert len(ids) == len(set(ids))
+        # enclaves=0 x {none, rewrite} collapses to one pure cell per
+        # schedule: 2 schedules x (1 pure + 2 adorned e2) = 6 cells.
+        assert len(ids) == 6
+        pure = [i for i in ids if "/e0/" in i]
+        assert len(pure) == 2
+        assert all("/none/" in i for i in pure)
+
+    def test_full_spec_shape(self):
+        spec = full_spec()
+        cells = spec.cells()
+        # 4 schedules x 2 numa x 2 mixes x 4 adaptations, enclaves=2.
+        assert len(cells) == 64
+        assert spec.describe().startswith("sweep spec: 64 cells x 3 seeds")
+        assert set(c.schedule for c in cells) == set(SCHEDULES)
+
+    def test_validate_aggregates_cell_problems_without_duplicates(self):
+        spec = dataclasses.replace(quick_spec(), schedules=("nope",))
+        problems = spec.validate()
+        assert len([p for p in problems if "unknown schedule" in p]) == 1
+
+    def test_validate_rejects_empty_grid_and_bad_seed_count(self):
+        spec = SweepSpec(schedules=(), seeds_per_cell=0)
+        problems = spec.validate()
+        assert any("no cells" in p for p in problems)
+        assert any("seeds_per_cell" in p for p in problems)
+
+
+class TestSeedDerivation:
+    def test_seed_is_pure_in_spec_cell_and_index(self):
+        spec = quick_spec()
+        cell = spec.cells()[0]
+        assert spec.seed_for(cell, 0) == quick_spec().seed_for(cell, 0)
+
+    def test_seeds_differ_across_cells_and_indices(self):
+        spec = quick_spec()
+        cells = spec.cells()
+        seeds = {
+            spec.seed_for(cell, k)
+            for cell in cells
+            for k in range(spec.seeds_per_cell)
+        }
+        assert len(seeds) == len(cells) * spec.seeds_per_cell
+
+    def test_base_seed_reseeds_the_whole_grid(self):
+        a, b = quick_spec(base_seed=1), quick_spec(base_seed=2)
+        cell = a.cells()[0]
+        assert a.seed_for(cell, 0) != b.seed_for(cell, 0)
+
+    def test_seed_fits_the_printable_32_bit_range(self):
+        spec = full_spec(base_seed=DEFAULT_SEED)
+        for cell in spec.cells():
+            assert 0 <= spec.seed_for(cell, 0) <= 0xFFFFFFFF

@@ -1,0 +1,123 @@
+"""Aggregation arithmetic and the two sweep document schemas."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.schema import (
+    FIGURE_RESULT_KEYS,
+    SWEEP_SCHEMA_NAME,
+    SWEEP_SCHEMA_VERSION,
+    validate_bench,
+    validate_sweep,
+)
+from repro.sweep import (
+    aggregate,
+    bench_doc,
+    boxplot_doc,
+    nearest_rank,
+    render_markdown,
+    sweep_doc,
+)
+
+pytestmark = pytest.mark.sweep
+
+
+class TestNearestRank:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.95)
+
+    def test_single_element(self):
+        assert nearest_rank([7.0], 0.95) == 7.0
+
+    def test_no_interpolation(self):
+        values = [float(v) for v in range(1, 11)]
+        assert nearest_rank(values, 0.95) == 10.0
+        assert nearest_rank(values, 0.5) == 5.0
+        assert nearest_rank(values, 0.9) == 9.0
+        # Every answer is an actual sample, never a blend.
+        assert nearest_rank([1.0, 2.0], 0.75) in (1.0, 2.0)
+
+    def test_order_independent(self):
+        assert nearest_rank([3.0, 1.0, 2.0], 0.95) == 3.0
+
+
+class TestAggregate:
+    def test_rows_follow_spec_cell_order(self, quick_result):
+        rows = aggregate(quick_result)
+        assert [r["cell"] for r in rows] == [
+            c.cell_id() for c in quick_result.spec.cells()
+        ]
+
+    def test_rows_carry_the_bench_figure_keys(self, quick_result):
+        for row in aggregate(quick_result):
+            assert FIGURE_RESULT_KEYS["sweep"] <= set(row)
+            assert row["seeds"] == quick_result.spec.seeds_per_cell
+            assert row["p95_final_clock"] >= row["median_final_clock"]
+
+    def test_markdown_lists_every_cell(self, quick_result):
+        text = render_markdown(quick_result)
+        assert text.startswith("# Scenario sweep")
+        for cell in quick_result.spec.cells():
+            assert f"`{cell.cell_id()}`" in text
+
+    def test_boxplot_doc_groups_raw_points_by_cell(self, quick_result):
+        doc = boxplot_doc(quick_result)
+        assert doc["schema"] == "covirt-sweep-boxplot"
+        assert len(doc["cells"]) == len(quick_result.spec.cells())
+        for group in doc["cells"]:
+            n = quick_result.spec.seeds_per_cell
+            assert len(group["seeds"]) == n
+            assert len(group["final_clocks"]) == n
+            assert len(group["fingerprints"]) == n
+
+
+class TestSweepSchema:
+    @pytest.fixture(scope="class")
+    def doc(self, quick_result):
+        return sweep_doc(quick_result, quick=True)
+
+    def test_valid_doc_passes(self, doc):
+        assert validate_sweep(doc) == []
+        assert doc["schema"] == SWEEP_SCHEMA_NAME
+        assert doc["schema_version"] == SWEEP_SCHEMA_VERSION
+
+    def test_json_round_trip_stays_valid(self, doc):
+        assert validate_sweep(json.loads(json.dumps(doc))) == []
+
+    def test_missing_key_reported(self, doc):
+        broken = dict(doc)
+        del broken["total_runs"]
+        assert any("total_runs" in p for p in validate_sweep(broken))
+
+    def test_wrong_schema_name_and_version(self, doc):
+        broken = dict(doc, schema="other", schema_version=99)
+        problems = validate_sweep(broken)
+        assert any("schema" in p for p in problems)
+
+    def test_empty_cells_rejected(self, doc):
+        assert validate_sweep(dict(doc, cells=[])) != []
+
+    def test_run_records_must_carry_the_identity_keys(self, doc):
+        broken = json.loads(json.dumps(doc))
+        del broken["cells"][0]["runs"][0]["fingerprint"]
+        assert any("fingerprint" in p for p in validate_sweep(broken))
+
+    def test_total_runs_consistency_checked(self, doc):
+        broken = dict(doc, total_runs=doc["total_runs"] + 1)
+        assert any("total_runs" in p for p in validate_sweep(broken))
+
+    def test_non_object_document(self):
+        assert validate_sweep([1, 2]) != []
+
+
+class TestBenchDoc:
+    def test_bench_doc_is_a_valid_covirt_bench_artifact(self, quick_result):
+        doc = bench_doc(quick_result, quick=True)
+        assert validate_bench(doc) == []
+        assert doc["bench"] == "sweep"
+        assert doc["exits_by_reason"]
+        assert doc["results"] == aggregate(quick_result)
