@@ -322,6 +322,28 @@ def bench_sweep(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
     return aggregate(result)
 
 
+def bench_telemetry(env: CovirtEnvironment, quick: bool) -> list[dict[str, Any]]:
+    """Telemetry-plane overhead: off / flight / subscribed / slow-subscriber.
+
+    Delegates to ``benchmarks/bench_telemetry_overhead.py`` (the
+    standalone artifact and the runner row set must be the same code
+    path).  The sentinel metric is ``ratio_vs_flight`` — wall-clock
+    ns/op is machine noise, the between-mode ratio is not, and a broken
+    fast-path gate moves the ``off`` row far outside its band.
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_telemetry_overhead",
+        Path(__file__).resolve().parent / "bench_telemetry_overhead.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    rows = module.measure_rows(quick)
+    _probe(env)
+    return rows
+
+
 SCENARIOS: dict[str, tuple[str, Callable]] = {
     "fig3": ("Fig. 3: Selfish-Detour noise profile", bench_fig3),
     "fig4": ("Fig. 4: XEMEM attach delay", bench_fig4),
@@ -332,6 +354,10 @@ SCENARIOS: dict[str, tuple[str, Callable]] = {
     "recovery": ("Fault-containment MTTR and checkpoint costs", bench_recovery),
     "fuzz": ("Coverage-guided vs random fuzzing reach", bench_fuzz),
     "sweep": ("Scenario sweep: per-cell medians across the grid", bench_sweep),
+    "telemetry": (
+        "Telemetry-plane overhead: off / flight / subscribed",
+        bench_telemetry,
+    ),
 }
 
 

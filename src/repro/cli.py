@@ -322,7 +322,9 @@ def run_metrics_dump(args) -> int:
 
     env = run_canonical_scenario(seed=args.seed)
     metrics = env.machine.obs.metrics
-    if args.json:
+    if args.prom:
+        print(metrics.render_prom(), end="")
+    elif args.json:
         print(json.dumps(metrics.to_dict(), indent=1, sort_keys=True))
     else:
         print(metrics.render_text())
@@ -808,6 +810,10 @@ def main(argv: list[str] | None = None) -> int:
     mdump.add_argument(
         "--json", action="store_true", help="JSON instead of text"
     )
+    mdump.add_argument(
+        "--prom", action="store_true",
+        help="Prometheus text exposition (v0.0.4) instead of text",
+    )
     bval = sub.add_parser(
         "bench-validate",
         help="validate BENCH_*.json files against the covirt-bench schema",
@@ -962,6 +968,48 @@ def main(argv: list[str] | None = None) -> int:
         "--shutdown", action="store_true",
         help="ask the daemon to shut down at the end (CI smoke)",
     )
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a covirt-serve daemon's telemetry "
+        "plane (interval-polling, curses-free)",
+    )
+    top.add_argument(
+        "--connect", metavar="SPEC", required=True,
+        help="daemon endpoint: unix:PATH or tcp:HOST:PORT",
+    )
+    top.add_argument(
+        "--tenant", default="_top",
+        help="tenant name for the dashboard connection (default _top)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between snapshot polls (default 2.0)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="redraw N times then exit (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single snapshot and exit",
+    )
+    top.add_argument(
+        "--plain", action="store_true",
+        help="append frames instead of clearing the screen (CI logs)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="print the raw telemetry.snapshot document and exit",
+    )
+    top.add_argument(
+        "--probe", type=float, default=None, metavar="SECONDS",
+        help="CI smoke: subscribe, stir traffic, schema-validate every "
+        "received frame for SECONDS; exit 1 on any invalid frame",
+    )
+    top.add_argument(
+        "--min-frames", type=int, default=1, metavar="N",
+        help="--probe fails unless at least N frames arrive (default 1)",
+    )
     replay = sub.add_parser(
         "replay",
         help="re-execute a recorded fuzz run (file or corpus dir)",
@@ -1007,6 +1055,10 @@ def main(argv: list[str] | None = None) -> int:
         return run_recovery_demo()
     if args.command == "serve-demo":
         return run_serve_demo(args)
+    if args.command == "top":
+        from repro.serve.top import run_top
+
+        return run_top(args)
     if args.command == "fuzz":
         return run_fuzz(args)
     if args.command == "replay":

@@ -34,12 +34,16 @@ from repro.obs.schema import (
     BENCH_SCHEMA_VERSION,
     SWEEP_SCHEMA_NAME,
     SWEEP_SCHEMA_VERSION,
+    TELEMETRY_SCHEMA_NAME,
+    TELEMETRY_SCHEMA_VERSION,
     validate_bench,
     validate_chrome_trace,
     validate_postmortem,
     validate_sweep,
+    validate_telemetry_frame,
+    validate_telemetry_snapshot,
 )
-from repro.obs.spans import Span, SpanTracer
+from repro.obs.spans import NULL_SPAN, Span, SpanTracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.clock import Clock
@@ -69,6 +73,16 @@ class Observability:
         self.flight.clear()
         self._wire_flight()
 
+    def quiesce(self) -> None:
+        """Drop to the zero-overhead fast path: disable the span tracer
+        and detach every observer (flight feed included), so emission
+        collapses to a cheap predicate.  Counters and gauges still
+        accumulate; only recording and fan-out stop.  One-way — use
+        :meth:`reset` to rewire the flight recorder afterwards."""
+        self.tracer.enabled = False
+        self.tracer.on_close = []
+        self.metrics.hooks = []
+
 
 __all__ = [
     "BENCH_SCHEMA_NAME",
@@ -78,11 +92,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_SPAN",
     "Observability",
     "POSTMORTEM_SCHEMA_NAME",
     "POSTMORTEM_SCHEMA_VERSION",
     "SWEEP_SCHEMA_NAME",
     "SWEEP_SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_NAME",
+    "TELEMETRY_SCHEMA_VERSION",
     "Span",
     "SpanTracer",
     "chrome_trace",
@@ -91,5 +108,7 @@ __all__ = [
     "validate_chrome_trace",
     "validate_postmortem",
     "validate_sweep",
+    "validate_telemetry_frame",
+    "validate_telemetry_snapshot",
     "write_chrome_trace",
 ]

@@ -74,6 +74,12 @@ class FlightRecorder:
         #: Total events ever recorded (``recorded - len(tail())`` is the
         #: number that wrapped out of the ring).
         self.recorded = 0
+        #: Who this recorder is recording *for*: stable identity stamped
+        #: into every post-mortem bundle (the serving layer fills in
+        #: tenant / session_id / scenario / seed plus scheduler-slice
+        #: context at park time) so a bundle pulled off a busy daemon's
+        #: disk is attributable without grepping the daemon log.
+        self.identity: dict[str, Any] = {}
         #: State summarizers snapshotted into every bundle, by name.
         self.context_providers: dict[str, Callable[[], Any]] = {}
         #: Set by :class:`~repro.obs.Observability`; snapshotted whole.
@@ -178,6 +184,7 @@ class FlightRecorder:
             "seq": self._seq,
             "trigger": trigger,
             "reason": reason,
+            "identity": _jsonable(self.identity),
             "detail": _jsonable(detail),
             "clock_now": self.clock.now,
             "events_recorded": self.recorded,

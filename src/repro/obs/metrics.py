@@ -65,6 +65,12 @@ SERVE_SHED = "serve.shed"
 SERVE_SLICES = "serve.slices"
 #: Sessions parked by crash containment, by ``tenant``.
 SERVE_PARKS = "serve.parks"
+#: Live telemetry subscribers gauge (the streaming plane).
+SERVE_TELEMETRY_SUBS = "serve.telemetry_subscribers"
+#: Telemetry frames dropped at full subscriber queues, by ``reason``.
+#: The daemon's own telemetry tap skips every ``serve.telemetry*``
+#: metric so accounting the stream can never feed back into it.
+SERVE_TELEMETRY_DROPS = "serve.telemetry_drops"
 
 #: Microsecond buckets for wall-clock request latency (serving daemon).
 WALL_US_BUCKETS: tuple[int, ...] = (
@@ -204,6 +210,28 @@ class Histogram(Metric):
         n = self.count(**labels)
         return self.sum(**labels) / n if n else 0.0
 
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1) from
+        bucket counts — aggregated across every label set unless one is
+        given.  Returns the bound of the bucket where the cumulative
+        count crosses the target; observations past the last bound clamp
+        to it (a bucketed histogram cannot resolve further)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        keys = [_labelkey(labels)] if labels else list(self._buckets)
+        total = sum(self._count.get(key, 0) for key in keys)
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for i in range(len(self.bounds) + 1):
+            cumulative += sum(
+                self._buckets[key][i] for key in keys if key in self._buckets
+            )
+            if cumulative >= target:
+                return float(self.bounds[min(i, len(self.bounds) - 1)])
+        return float(self.bounds[-1])  # pragma: no cover - loop covers total
+
     def samples(self) -> list[tuple[dict[str, str], dict[str, Any]]]:
         out = []
         for key in sorted(self._buckets):
@@ -232,7 +260,13 @@ class MetricsRegistry:
     def _dispatch_event(
         self, kind: str, name: str, labels: dict[str, Any], value: float
     ) -> None:
-        for hook in self.hooks:
+        # Fast path: with no observer attached (no flight feed, no
+        # telemetry tap) an update costs one truthiness test here —
+        # counts still accumulate, only the fan-out is skipped.
+        hooks = self.hooks
+        if not hooks:
+            return
+        for hook in hooks:
             hook(kind, name, labels, value)
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
@@ -331,3 +365,82 @@ class MetricsRegistry:
                     label_str = ",".join(f"{k}={v}" for k, v in labels.items())
                     lines.append(f"  {{{label_str}}} {value:g}")
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def render_prom(self) -> str:
+        """Prometheus text exposition (v0.0.4) of every metric.
+
+        Dotted names become underscore names (``serve.requests`` →
+        ``serve_requests``), counters get the conventional ``_total``
+        suffix, histograms expand to cumulative ``_bucket``/``_sum``/
+        ``_count`` series with a ``+Inf`` bound.  Output is sorted and
+        deterministic for a given registry state."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            base = prom_name(name)
+            if isinstance(metric, Counter):
+                lines.append(f"# HELP {base}_total {metric.help or name}")
+                lines.append(f"# TYPE {base}_total counter")
+                for labels, value in metric.samples():
+                    lines.append(
+                        f"{base}_total{_prom_labels(labels)} {_prom_num(value)}"
+                    )
+            elif isinstance(metric, Gauge):
+                lines.append(f"# HELP {base} {metric.help or name}")
+                lines.append(f"# TYPE {base} gauge")
+                for labels, value in metric.samples():
+                    lines.append(
+                        f"{base}{_prom_labels(labels)} {_prom_num(value)}"
+                    )
+            elif isinstance(metric, Histogram):
+                lines.append(f"# HELP {base} {metric.help or name}")
+                lines.append(f"# TYPE {base} histogram")
+                for labels, stats in metric.samples():
+                    cumulative = 0
+                    for bound, count in zip(metric.bounds, stats["counts"]):
+                        cumulative += count
+                        le = dict(labels, le=_prom_num(bound))
+                        lines.append(
+                            f"{base}_bucket{_prom_labels(le)} {cumulative}"
+                        )
+                    le = dict(labels, le="+Inf")
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(le)} {stats['count']}"
+                    )
+                    lines.append(
+                        f"{base}_sum{_prom_labels(labels)} "
+                        f"{_prom_num(stats['sum'])}"
+                    )
+                    lines.append(
+                        f"{base}_count{_prom_labels(labels)} {stats['count']}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Prometheus exposition helpers --------------------------------------
+
+
+def prom_name(name: str) -> str:
+    """A metric name in Prometheus' ``[a-zA-Z_:][a-zA-Z0-9_:]*`` set."""
+    out = "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+    if not out or not (out[0].isalpha() or out[0] in "_:"):
+        out = "_" + out
+    return out
+
+
+def _prom_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    pairs = []
+    for key in sorted(labels):
+        value = str(labels[key]).replace("\\", "\\\\")
+        value = value.replace('"', '\\"').replace("\n", "\\n")
+        pairs.append(f'{prom_name(key)}="{value}"')
+    return "{" + ",".join(pairs) + "}"
+
+
+def _prom_num(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)

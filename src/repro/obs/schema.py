@@ -12,6 +12,10 @@ Three document shapes are validated here, dependency-free (no
 * Post-mortem dumps — :func:`validate_postmortem` checks the bundles
   the flight recorder (:mod:`repro.obs.flight`) snapshots when
   containment fires.
+* Telemetry-plane documents — :func:`validate_telemetry_frame` checks
+  the server-push frames ``telemetry.subscribe`` streams, and
+  :func:`validate_telemetry_snapshot` checks the ``telemetry.snapshot``
+  rollup (see ``docs/observability.md``, "The telemetry plane").
 
 Validators return a list of problems (empty = valid) so callers can
 report every defect at once rather than dying on the first.
@@ -26,6 +30,9 @@ BENCH_SCHEMA_VERSION = 1
 
 SWEEP_SCHEMA_NAME = "covirt-sweep"
 SWEEP_SCHEMA_VERSION = 1
+
+TELEMETRY_SCHEMA_NAME = "covirt-telemetry"
+TELEMETRY_SCHEMA_VERSION = 1
 
 #: Result-row keys each figure's artifact must carry.  ``bench-validate``
 #: rejects artifacts whose rows miss these (and unknown bench names),
@@ -55,6 +62,10 @@ FIGURE_RESULT_KEYS: dict[str, frozenset[str]] = {
             "p95_final_clock",
             "failures",
         }
+    ),
+    "telemetry": frozenset(
+        {"mode", "ops", "ns_per_op", "ratio_vs_flight", "frames",
+         "frames_per_sec", "dropped", "drop_rate"}
     ),
 }
 
@@ -355,4 +366,195 @@ def validate_postmortem(doc: Any) -> list[str]:
     for section in ("counters", "gauges", "histograms"):
         if section not in doc["metrics"]:
             problems.append(f"metrics.{section} must be present")
+    # identity is optional (bundles predating the serving layer's
+    # stamping omit it) but when present it must be a flat object of
+    # scalars — tenant/session_id/scenario/seed plus slice context.
+    if "identity" in doc:
+        identity = doc["identity"]
+        if not isinstance(identity, dict):
+            problems.append(
+                f"identity must be an object, got {type(identity).__name__}"
+            )
+        else:
+            for key, value in identity.items():
+                if not isinstance(key, str) or isinstance(
+                    value, (dict, list)
+                ):
+                    problems.append(
+                        f"identity entries must be str -> scalar, got "
+                        f"{key!r}: {value!r}"
+                    )
+                    break
+    return problems
+
+
+# -- telemetry plane ----------------------------------------------------
+
+#: Frame types ``telemetry.subscribe`` may push.
+TELEMETRY_FRAME_TYPES = ("hello", "span", "metric", "lifecycle", "drops")
+
+#: Session lifecycle transitions carried by ``lifecycle`` frames.
+TELEMETRY_LIFECYCLE_EVENTS = ("launch", "park", "shed", "kill")
+
+#: Field requirements per frame type (beyond the common envelope).
+_FRAME_REQUIRED: dict[str, tuple[tuple[str, type | tuple[type, ...]], ...]] = {
+    "hello": (("protocol", str), ("version", int), ("subscriber", int)),
+    "span": (
+        ("tenant", str), ("name", str), ("track", str),
+        ("start", int), ("end", int),
+    ),
+    "metric": (
+        ("tenant", str), ("kind", str), ("name", str),
+        ("labels", dict), ("value", (int, float)),
+    ),
+    "lifecycle": (("event", str), ("tenant", str)),
+    "drops": (("dropped", int), ("total_dropped", int)),
+}
+
+
+def validate_telemetry_frame(doc: Any) -> list[str]:
+    """Validate one server-push telemetry frame (covirt-telemetry)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"frame must be an object, got {type(doc).__name__}"]
+    ftype = doc.get("type")
+    if ftype not in TELEMETRY_FRAME_TYPES:
+        return [
+            f"unknown frame type {ftype!r}; expected one of "
+            f"{', '.join(TELEMETRY_FRAME_TYPES)}"
+        ]
+    seq = doc.get("seq")
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+        problems.append(f"seq must be a non-negative integer, got {seq!r}")
+    for key, types in _FRAME_REQUIRED[ftype]:
+        value = doc.get(key)
+        bad_bool = isinstance(value, bool) and key != "value"
+        if key not in doc:
+            problems.append(f"{ftype} frame missing required key {key!r}")
+        elif bad_bool or not isinstance(value, types):
+            problems.append(
+                f"{ftype} frame key {key!r} must be {types}, "
+                f"got {type(value).__name__}"
+            )
+    if problems:
+        return problems
+    if ftype == "hello":
+        if doc["protocol"] != TELEMETRY_SCHEMA_NAME:
+            problems.append(
+                f"hello protocol must be {TELEMETRY_SCHEMA_NAME!r}, "
+                f"got {doc['protocol']!r}"
+            )
+        if doc["version"] != TELEMETRY_SCHEMA_VERSION:
+            problems.append(
+                f"unknown telemetry version {doc['version']} (this tool "
+                f"understands version {TELEMETRY_SCHEMA_VERSION})"
+            )
+    elif ftype == "span":
+        if doc["end"] < doc["start"]:
+            problems.append("span frame end must be >= start")
+    elif ftype == "lifecycle":
+        if doc["event"] not in TELEMETRY_LIFECYCLE_EVENTS:
+            problems.append(
+                f"unknown lifecycle event {doc['event']!r}; expected one "
+                f"of {', '.join(TELEMETRY_LIFECYCLE_EVENTS)}"
+            )
+    elif ftype == "drops":
+        if doc["dropped"] < 1:
+            problems.append("drops frame must report dropped >= 1")
+        if doc["total_dropped"] < doc["dropped"]:
+            problems.append("drops frame total_dropped must be >= dropped")
+    if "session_id" in doc and doc["session_id"] is not None and not (
+        isinstance(doc["session_id"], str)
+    ):
+        problems.append("session_id must be a string or null")
+    return problems
+
+
+#: Rollup keys every per-tenant (and the global) section must carry.
+TELEMETRY_ROLLUP_KEYS = frozenset(
+    {
+        "sessions",
+        "parked",
+        "steps_applied",
+        "sim_cycles",
+        "slices_run",
+        "oracle_violations",
+        "postmortems",
+        "exits",
+    }
+)
+
+#: Keys the ``daemon`` section of a snapshot must carry.
+_SNAPSHOT_DAEMON_KEYS = frozenset(
+    {
+        "requests_total",
+        "requests_per_sec",
+        "request_p50_us",
+        "request_p99_us",
+        "shed",
+        "connections",
+        "subscribers",
+        "backlog",
+    }
+)
+
+
+def validate_telemetry_snapshot(doc: Any) -> list[str]:
+    """Validate one ``telemetry.snapshot`` rollup document."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"snapshot must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != TELEMETRY_SCHEMA_NAME:
+        problems.append(
+            f"schema must be {TELEMETRY_SCHEMA_NAME!r}, "
+            f"got {doc.get('schema')!r}"
+        )
+    if doc.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"unknown schema_version {doc.get('schema_version')!r} (this "
+            f"tool understands schema_version {TELEMETRY_SCHEMA_VERSION})"
+        )
+    if doc.get("kind") != "snapshot":
+        problems.append(f"kind must be 'snapshot', got {doc.get('kind')!r}")
+    uptime = doc.get("uptime_seconds")
+    if isinstance(uptime, bool) or not isinstance(uptime, (int, float)) or (
+        uptime < 0
+    ):
+        problems.append("uptime_seconds must be a number >= 0")
+    daemon = doc.get("daemon")
+    if not isinstance(daemon, dict):
+        problems.append("daemon section must be an object")
+    else:
+        missing = _SNAPSHOT_DAEMON_KEYS - set(daemon)
+        if missing:
+            problems.append(
+                f"daemon section missing {', '.join(sorted(missing))}"
+            )
+        if not isinstance(daemon.get("subscribers"), list):
+            problems.append("daemon.subscribers must be an array")
+    for section in ("global",):
+        rollup = doc.get(section)
+        if not isinstance(rollup, dict):
+            problems.append(f"{section} section must be an object")
+            continue
+        missing = TELEMETRY_ROLLUP_KEYS - set(rollup)
+        if missing:
+            problems.append(
+                f"{section} section missing {', '.join(sorted(missing))}"
+            )
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, dict):
+        problems.append("tenants section must be an object")
+    else:
+        for tenant, rollup in tenants.items():
+            if not isinstance(rollup, dict):
+                problems.append(f"tenants[{tenant!r}] must be an object")
+                break
+            missing = TELEMETRY_ROLLUP_KEYS - set(rollup)
+            if missing:
+                problems.append(
+                    f"tenants[{tenant!r}] missing "
+                    f"{', '.join(sorted(missing))}"
+                )
+                break
     return problems

@@ -14,6 +14,14 @@ recovery span opened inside an EPT-violation handler shows up as that
 exit's descendant).  Spans still carry a ``track`` label (``core3``,
 ``controller``, ``recovery``, ``fuzz``) so exports can lay them out on
 separate timelines.
+
+Emission has a **zero-overhead fast path**: with :attr:`SpanTracer.enabled`
+cleared, every recording call collapses to one attribute test and
+returns the shared :data:`NULL_SPAN` — no allocation, no clock read, no
+stack or list mutation, no observer fan-out.  The telemetry plane and
+the benchmarks rely on this: instrumentation left in hot simulation
+loops costs (almost) nothing when nobody is watching
+(``benchmarks/bench_telemetry_overhead.py`` pins the ratio).
 """
 
 from __future__ import annotations
@@ -59,6 +67,15 @@ class Span:
         return f"{'  ' * self.depth}[{self.track}] {self.name}"
 
 
+#: Shared sentinel every recording call returns while the tracer is
+#: disabled.  Never placed on the stack, never closed, never observed;
+#: ``end()`` recognises it by identity and no-ops.
+NULL_SPAN = Span(
+    span_id=-1, parent_id=None, depth=0,
+    name="", category="", track="", start=0, end=0,
+)
+
+
 class SpanTracer:
     """Machine-wide span recorder."""
 
@@ -69,6 +86,11 @@ class SpanTracer:
             raise ValueError("span capacity must be positive")
         self.clock = clock
         self.capacity = capacity
+        #: The fast-path gate: while False, begin/complete/instant return
+        #: :data:`NULL_SPAN` without touching the clock, the span list,
+        #: or any observer.  Spans already open keep closing normally so
+        #: the stack can never wedge across a disable/enable cycle.
+        self.enabled = True
         #: Completed and open spans, in *start* order.
         self.spans: list[Span] = []
         #: Spans discarded once capacity was reached.
@@ -106,6 +128,8 @@ class SpanTracer:
     ) -> Span:
         """Open a span at the current simulated time.  The span nests
         under whatever span is currently open."""
+        if not self.enabled:
+            return NULL_SPAN
         parent = self._stack[-1] if self._stack else None
         span = Span(
             span_id=self._next_id,
@@ -130,6 +154,8 @@ class SpanTracer:
     ) -> Span:
         """Close ``span`` (and, defensively, anything opened inside it
         that was left dangling)."""
+        if span is NULL_SPAN:
+            return span
         when = self._resolve(now)
         while self._stack:
             top = self._stack.pop()
@@ -170,6 +196,8 @@ class SpanTracer:
     ) -> Span:
         """Record an already-finished interval (explicit start/end) as a
         child of the currently open span."""
+        if not self.enabled:
+            return NULL_SPAN
         parent = self._stack[-1] if self._stack else None
         span = Span(
             span_id=self._next_id,
@@ -200,6 +228,8 @@ class SpanTracer:
         **args: Any,
     ) -> Span:
         """A zero-duration marker."""
+        if not self.enabled:
+            return NULL_SPAN
         when = self._resolve(now)
         return self.complete(
             name, when, when, category=category, track=track, **args

@@ -17,7 +17,12 @@ service outlives any tenant's crash):
   hot tenant cannot starve the rest;
 * :mod:`repro.serve.daemon`   — the event loop (``covirt-serve``);
 * :mod:`repro.serve.client`   — the blocking client library the CLI,
-  tests, and ``benchmarks/bench_serve_throughput.py`` drive.
+  tests, and ``benchmarks/bench_serve_throughput.py`` drive;
+* :mod:`repro.serve.telemetry` — the live telemetry plane: bounded
+  per-subscriber frame streams, per-tenant rollups
+  (``telemetry.snapshot``) and Prometheus text exposition;
+* :mod:`repro.serve.top`      — the ``repro top`` dashboard and the CI
+  ``--probe`` frame validator.
 
 See ``docs/serving.md`` for the protocol reference and quickstart.
 """
@@ -35,6 +40,12 @@ from repro.serve.protocol import (
 from repro.serve.registry import SessionRegistry, TenantQuota
 from repro.serve.scheduler import CooperativeScheduler, RunJob
 from repro.serve.session import Session, SessionState
+from repro.serve.telemetry import (
+    TelemetryHub,
+    TelemetrySubscriber,
+    build_snapshot,
+    render_prom,
+)
 
 __all__ = [
     "CooperativeScheduler",
@@ -48,5 +59,9 @@ __all__ = [
     "Session",
     "SessionRegistry",
     "SessionState",
+    "TelemetryHub",
+    "TelemetrySubscriber",
     "TenantQuota",
+    "build_snapshot",
+    "render_prom",
 ]

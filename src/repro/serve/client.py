@@ -8,11 +8,19 @@ typed errors re-raise locally as :class:`~repro.serve.protocol.ServeError`
 
 Endpoints are specs: ``unix:/path/to.sock`` or ``tcp:HOST:PORT`` —
 exactly what :attr:`ServeDaemon.endpoint` hands out.
+
+Telemetry: once :meth:`ServeClient.subscribe` (or
+:meth:`~ServeClient.trace_stream`) succeeds, the daemon interleaves
+``{"push": "telemetry", "frame": {...}}`` lines with responses on this
+connection.  :meth:`~ServeClient.request` stashes any push line it
+reads while waiting for its response; :meth:`~ServeClient.read_frames`
+drains stashed frames and then blocks (up to a deadline) for live ones.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any
 
 from repro.serve.protocol import (
@@ -51,24 +59,56 @@ class ServeClient:
             self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.settimeout(timeout)
         self._sock.connect(address)
-        self._reader = self._sock.makefile("rb")
+        # Hand-rolled line buffering: socket.makefile() readers wedge
+        # permanently after one recv timeout, and read_frames() leans on
+        # short timeouts to poll; a plain byte buffer survives them
+        # (the partial line just stays buffered for the next read).
+        self._buf = b""
         self._next_id = 0
+        self._timeout = timeout
+        #: Telemetry frames read off the wire but not yet consumed
+        #: (push lines interleave with responses once subscribed).
+        self.frames: list[dict[str, Any]] = []
         if tenant is not None:
             self.hello(tenant)
 
     # -- transport -------------------------------------------------------
 
+    def _recv_line(self) -> bytes:
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline >= 0:
+                line = self._buf[: newline + 1]
+                self._buf = self._buf[newline + 1:]
+                return line
+            if len(self._buf) > MAX_LINE_BYTES + 2:
+                raise ConnectionError(
+                    f"daemon at {self.endpoint} sent an unterminated "
+                    f"line over {MAX_LINE_BYTES} bytes"
+                )
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    f"daemon at {self.endpoint} closed the connection"
+                )
+            self._buf += chunk
+
+    def _read_line(self) -> dict[str, Any]:
+        return decode_line(self._recv_line())
+
     def request(self, method: str, params: dict[str, Any] | None = None) -> Any:
-        """One round trip; returns ``result`` or raises ServeError."""
+        """One round trip; returns ``result`` or raises ServeError.
+        Push frames arriving before the response are stashed on
+        :attr:`frames`, never lost."""
         self._next_id += 1
         request_id = self._next_id
         self._sock.sendall(encode_request(request_id, method, params))
-        line = self._reader.readline(MAX_LINE_BYTES + 2)
-        if not line:
-            raise ConnectionError(
-                f"daemon at {self.endpoint} closed the connection"
-            )
-        response = decode_line(line)
+        while True:
+            response = self._read_line()
+            if "push" in response:
+                self.frames.append(response.get("frame") or {})
+                continue
+            break
         if response.get("id") not in (request_id, None):
             raise ConnectionError(
                 f"response id {response.get('id')!r} does not match "
@@ -83,19 +123,41 @@ class ServeClient:
             error.get("data"),
         )
 
+    def read_frames(
+        self, count: int = 1, max_seconds: float = 5.0
+    ) -> list[dict[str, Any]]:
+        """Consume up to ``count`` telemetry frames: stashed ones first,
+        then live push lines until the deadline.  Returns what arrived
+        (possibly fewer than ``count``); raises on a non-push line —
+        with no request in flight the daemon only pushes."""
+        taken = self.frames[:count]
+        del self.frames[: len(taken)]
+        deadline = time.monotonic() + max_seconds
+        while len(taken) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self._sock.settimeout(max(0.05, min(remaining, self._timeout)))
+            try:
+                response = self._read_line()
+            except (TimeoutError, socket.timeout):
+                break
+            finally:
+                self._sock.settimeout(self._timeout)
+            if "push" not in response:
+                raise ConnectionError(
+                    f"expected a push line, got {response!r}"
+                )
+            taken.append(response.get("frame") or {})
+        return taken
+
     def send_raw(self, payload: bytes) -> dict[str, Any]:
         """Ship raw bytes and read one response line (protocol tests)."""
         self._sock.sendall(payload)
-        line = self._reader.readline(MAX_LINE_BYTES + 2)
-        if not line:
-            raise ConnectionError("daemon closed the connection")
-        return decode_line(line)
+        return self._read_line()
 
     def close(self) -> None:
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -158,3 +220,40 @@ class ServeClient:
 
     def kill(self, session_id: str) -> dict[str, Any]:
         return self.request("session.kill", {"session_id": session_id})
+
+    # -- telemetry plane -------------------------------------------------
+
+    def subscribe(
+        self,
+        tenants: list[str] | None = None,
+        kinds: list[str] | None = None,
+        session_id: str | None = None,
+        max_queue: int | None = None,
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {}
+        if tenants is not None:
+            params["tenants"] = tenants
+        if kinds is not None:
+            params["kinds"] = kinds
+        if session_id is not None:
+            params["session_id"] = session_id
+        if max_queue is not None:
+            params["max_queue"] = max_queue
+        return self.request("telemetry.subscribe", params)
+
+    def unsubscribe(self) -> dict[str, Any]:
+        return self.request("telemetry.unsubscribe")
+
+    def trace_stream(
+        self, session_id: str, max_queue: int | None = None
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"session_id": session_id}
+        if max_queue is not None:
+            params["max_queue"] = max_queue
+        return self.request("session.trace_stream", params)
+
+    def snapshot(self) -> dict[str, Any]:
+        return self.request("telemetry.snapshot")
+
+    def prom(self) -> str:
+        return self.request("telemetry.prom")["text"]

@@ -34,13 +34,19 @@ from typing import Any, Callable
 from repro.fuzz.rng import DEFAULT_SEED
 from repro.obs import Observability, metric_names
 from repro.obs.metrics import WALL_US_BUCKETS
+from repro.obs.schema import (
+    TELEMETRY_SCHEMA_NAME,
+    TELEMETRY_SCHEMA_VERSION,
+)
 from repro.serve.protocol import (
     E_BUSY,
     E_INTERNAL,
     E_INVALID_PARAMS,
     E_PAYLOAD_TOO_LARGE,
     E_QUOTA,
+    E_RESPONSE_TOO_LARGE,
     E_UNKNOWN_METHOD,
+    MAX_LINE_BYTES,
     PROTOCOL_NAME,
     PROTOCOL_VERSION,
     LineBuffer,
@@ -57,6 +63,12 @@ from repro.serve.registry import (
 )
 from repro.serve.scheduler import CooperativeScheduler, RunJob
 from repro.serve.session import SCENARIOS, Session
+from repro.serve.telemetry import (
+    DEFAULT_QUEUE_FRAMES,
+    TelemetryHub,
+    build_snapshot,
+    render_prom,
+)
 
 #: Daemon-wide cap on queued run jobs, across all tenants.
 DEFAULT_MAX_BACKLOG = 32
@@ -112,6 +124,10 @@ class ServeDaemon:
         self.obs.flight.register_context(
             "serve.registry", self.registry.summary
         )
+        self.started_at = time.monotonic()
+        # The live observation plane: frames fan out to subscribers, the
+        # aggregator folds session registries into telemetry.snapshot.
+        self.telemetry = TelemetryHub(self.obs.metrics)
         self._socket_path: Path | None = None
         if socket_path is not None:
             self._socket_path = Path(socket_path)
@@ -146,8 +162,13 @@ class ServeDaemon:
             "session.run": self._m_run,
             "session.inspect": self._m_inspect,
             "session.trace": self._m_trace,
+            "session.trace_stream": self._m_trace_stream,
             "session.inject": self._m_inject,
             "session.kill": self._m_kill,
+            "telemetry.subscribe": self._m_telemetry_subscribe,
+            "telemetry.unsubscribe": self._m_telemetry_unsubscribe,
+            "telemetry.snapshot": self._m_telemetry_snapshot,
+            "telemetry.prom": self._m_telemetry_prom,
         }
 
     # -- addressing ------------------------------------------------------
@@ -167,7 +188,8 @@ class ServeDaemon:
         request; flushes pending responses on the way out."""
         try:
             while not self._stop:
-                timeout = 0.0 if not self.scheduler.idle else 0.5
+                busy = not self.scheduler.idle or self.telemetry.pending()
+                timeout = 0.0 if busy else 0.5
                 for key, _mask in self._selector.select(timeout):
                     if key.data == "accept":
                         self._accept()
@@ -176,6 +198,10 @@ class ServeDaemon:
                     else:
                         self._service(key.data, key.events)
                 self.scheduler.tick()
+                # Drain telemetry queues once per turn, after both the
+                # request wave and the scheduler slice that produced
+                # frames — bounded per subscriber, never blocking.
+                self.telemetry.flush(self._send)
         finally:
             self._shutdown_sockets()
 
@@ -266,6 +292,8 @@ class ServeDaemon:
         if conn.closed:
             return
         conn.closed = True
+        self.telemetry.drop_connection(conn)
+        self._sync_taps()
         try:
             self._selector.unregister(conn.sock)
         except (KeyError, ValueError):  # pragma: no cover
@@ -351,8 +379,23 @@ class ServeDaemon:
         self, conn: Connection, request_id: int | None, method: str,
         t0: int | None, result: Any,
     ) -> None:
+        data = encode_response(request_id, result)
+        if len(data) > MAX_LINE_BYTES:
+            # Never ship a line the client's framing would truncate —
+            # answer with a typed error telling it to narrow the window.
+            self._reply_error(
+                conn, request_id, method, t0,
+                ServeError(
+                    E_RESPONSE_TOO_LARGE,
+                    f"{method} response of {len(data)} bytes exceeds the "
+                    f"{MAX_LINE_BYTES}-byte line cap; narrow the request "
+                    f"window (e.g. 'limit' / 'since_cycle')",
+                    data={"bytes": len(data), "cap": MAX_LINE_BYTES},
+                ),
+            )
+            return
         self._observe(method, "ok", t0)
-        self._send(conn, encode_response(request_id, result))
+        self._send(conn, data)
 
     def _reply_error(
         self, conn: Connection, request_id: int | None, method: str,
@@ -363,6 +406,9 @@ class ServeDaemon:
             self.obs.metrics.counter(
                 metric_names.SERVE_SHED, "requests shed by admission control"
             ).inc(reason=err.code)
+            self.telemetry.lifecycle(
+                "shed", conn.tenant, reason=err.code, method=method
+            )
         self._send(conn, encode_error(request_id, err))
 
     # -- param helpers ---------------------------------------------------
@@ -428,6 +474,7 @@ class ServeDaemon:
                 "cancelled_jobs": self.scheduler.cancelled,
             },
             "connections": len(self.connections),
+            "telemetry": self.telemetry.stats(),
         }
         if params.get("metrics"):
             doc["metrics"] = self.obs.metrics.to_dict()
@@ -447,6 +494,11 @@ class ServeDaemon:
         session = self.registry.launch(conn.tenant, scenario, seed)
         session.on_park = self._on_park
         self._update_session_gauge()
+        self._sync_taps()
+        self.telemetry.lifecycle(
+            "launch", session.tenant, session.session_id,
+            scenario=session.scenario, seed=session.seed,
+        )
         return {
             "session_id": session.session_id,
             "scenario": session.scenario,
@@ -462,6 +514,10 @@ class ServeDaemon:
             "serve-park",
             f"session {session.session_id} parked: {session.park_reason}",
             tenant=session.tenant,
+        )
+        self.telemetry.lifecycle(
+            "park", session.tenant, session.session_id,
+            reason=session.park_reason,
         )
 
     def _m_step(self, conn, request_id, params, t0):
@@ -540,8 +596,13 @@ class ServeDaemon:
         limit = self._int_param(
             params, "limit", default=quota.max_trace_events, minimum=1
         )
+        since_cycle = None
+        if params.get("since_cycle") is not None:
+            since_cycle = self._int_param(params, "since_cycle", minimum=0)
         return session.trace(
-            cursor=cursor, limit=min(limit, quota.max_trace_events)
+            cursor=cursor,
+            limit=min(limit, quota.max_trace_events),
+            since_cycle=since_cycle,
         )
 
     def _m_inject(self, conn, request_id, params, t0):
@@ -559,9 +620,108 @@ class ServeDaemon:
 
     def _m_kill(self, conn, request_id, params, t0):
         session = self._session(conn, params)
+        self.telemetry.detach_obs(session.session_id)
         result = self.registry.kill(conn.tenant, session.session_id)
         self._update_session_gauge()
+        self.telemetry.lifecycle("kill", session.tenant, session.session_id)
         return result
+
+    # -- the telemetry plane ---------------------------------------------
+
+    def _sync_taps(self) -> None:
+        """Attach frame-building taps to every session (and the daemon's
+        own obs) while subscribers exist; detach them all when the last
+        subscriber leaves so idle emission stays on the fast path."""
+        if self.telemetry.active:
+            self.telemetry.attach_obs(
+                "daemon", self.obs, tenant="_daemon", session_id=None
+            )
+            for session in self.registry.sessions.values():
+                self.telemetry.attach_obs(
+                    session.session_id,
+                    session.env.machine.obs,
+                    tenant=session.tenant,
+                    session_id=session.session_id,
+                )
+        else:
+            self.telemetry.detach_all()
+
+    def _subscribe_params(
+        self, params: dict[str, Any]
+    ) -> tuple[list[str] | None, list[str] | None, int]:
+        for name in ("tenants", "kinds"):
+            value = params.get(name)
+            if value is not None and (
+                not isinstance(value, list)
+                or not all(isinstance(v, str) for v in value)
+            ):
+                raise ServeError(
+                    E_INVALID_PARAMS,
+                    f"param {name!r} must be an array of strings",
+                )
+        max_queue = self._int_param(
+            params, "max_queue", default=DEFAULT_QUEUE_FRAMES, minimum=1
+        )
+        return params.get("tenants"), params.get("kinds"), max_queue
+
+    def _m_telemetry_subscribe(self, conn, request_id, params, t0):
+        tenants, kinds, max_queue = self._subscribe_params(params)
+        session_id = params.get("session_id")
+        if session_id is not None:
+            # Resolve tenant-scoped so another tenant's session id is
+            # indistinguishable from a nonexistent one.
+            session_id = self._session(conn, params).session_id
+        sub = self.telemetry.subscribe(
+            conn,
+            session_id=session_id,
+            tenants=tenants,
+            kinds=kinds,
+            max_queue=max_queue,
+        )
+        self._sync_taps()
+        return {
+            "subscriber": sub.sub_id,
+            "protocol": TELEMETRY_SCHEMA_NAME,
+            "version": TELEMETRY_SCHEMA_VERSION,
+            "max_queue": sub.max_queue,
+        }
+
+    def _m_telemetry_unsubscribe(self, conn, request_id, params, t0):
+        stats = self.telemetry.unsubscribe(conn)
+        if stats is None:
+            raise ServeError(
+                E_INVALID_PARAMS,
+                "this connection has no telemetry subscription",
+            )
+        self._sync_taps()
+        return stats
+
+    def _m_trace_stream(self, conn, request_id, params, t0):
+        session = self._session(conn, params)
+        _tenants, kinds, max_queue = self._subscribe_params(params)
+        sub = self.telemetry.subscribe(
+            conn,
+            session_id=session.session_id,
+            kinds=kinds,
+            max_queue=max_queue,
+        )
+        self._sync_taps()
+        return {
+            "subscriber": sub.sub_id,
+            "session_id": session.session_id,
+            "protocol": TELEMETRY_SCHEMA_NAME,
+            "version": TELEMETRY_SCHEMA_VERSION,
+            "max_queue": sub.max_queue,
+        }
+
+    def _m_telemetry_snapshot(self, conn, request_id, params, t0):
+        return build_snapshot(self)
+
+    def _m_telemetry_prom(self, conn, request_id, params, t0):
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "text": render_prom(self),
+        }
 
 
 # -- console entry point ------------------------------------------------

@@ -23,9 +23,18 @@ control sheds load with explicit ``busy`` / ``quota`` errors instead of
 queuing unboundedly; a request the daemon cannot even parse is answered
 with ``id: null`` (there is no trustworthy id to echo).
 
-Lines are capped at :data:`MAX_LINE_BYTES`; an oversized line is
-discarded up to its terminating newline and answered with
-``payload_too_large``, and the connection stays usable.
+Lines are capped at :data:`MAX_LINE_BYTES` in **both** directions: an
+oversized request line is discarded up to its terminating newline and
+answered with ``payload_too_large``, and a response the daemon cannot
+fit under the cap is replaced by a typed ``response_too_large`` error
+(never a silently truncated line) telling the client to narrow its
+window (``limit`` / ``since_cycle``).  The connection stays usable
+either way.
+
+A connection that called ``telemetry.subscribe`` additionally receives
+**server-push lines** — ``{"push": "telemetry", "frame": {...}}``, no
+``id`` — interleaved between responses; see ``docs/observability.md``
+for the frame schema.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ E_INVALID_REQUEST = "invalid_request"  # JSON, but not a request object
 E_UNKNOWN_METHOD = "unknown_method"
 E_INVALID_PARAMS = "invalid_params"
 E_PAYLOAD_TOO_LARGE = "payload_too_large"
+E_RESPONSE_TOO_LARGE = "response_too_large"  # narrow the request window
 E_BUSY = "busy"  # admission control shed the request
 E_QUOTA = "quota"  # per-tenant quota exceeded
 E_NO_SUCH_SESSION = "no_such_session"  # unknown id, or another tenant's
@@ -60,6 +70,7 @@ ERROR_CODES = frozenset(
         E_UNKNOWN_METHOD,
         E_INVALID_PARAMS,
         E_PAYLOAD_TOO_LARGE,
+        E_RESPONSE_TOO_LARGE,
         E_BUSY,
         E_QUOTA,
         E_NO_SUCH_SESSION,
@@ -109,6 +120,13 @@ def encode_response(request_id: int | None, result: Any) -> bytes:
 
 def encode_error(request_id: int | None, err: ServeError) -> bytes:
     return _line({"id": request_id, "ok": False, "error": err.to_error()})
+
+
+def encode_push(channel: str, frame: dict[str, Any]) -> bytes:
+    """A server-push line (no ``id`` — nothing to match): the telemetry
+    plane's frames travel as ``{"push": "telemetry", "frame": {...}}``
+    interleaved with responses on a subscribed connection."""
+    return _line({"push": channel, "frame": frame})
 
 
 # -- decoding -----------------------------------------------------------

@@ -85,6 +85,15 @@ class Session:
         self.slices_run = 0
         #: Daemon hook: called ``(session)`` once when the session parks.
         self.on_park = None
+        # Stamp who this machine belongs to into its flight recorder, so
+        # every post-mortem frozen from inside the daemon is attributable
+        # on its own (park() adds scheduler-slice context at freeze time).
+        self.env.machine.obs.flight.identity = {
+            "tenant": tenant,
+            "session_id": session_id,
+            "scenario": scenario,
+            "seed": self.seed,
+        }
 
     # -- state gates -----------------------------------------------------
 
@@ -109,6 +118,13 @@ class Session:
             return
         self.state = SessionState.PARKED
         self.park_reason = reason
+        self.env.machine.obs.flight.identity.update(
+            {
+                "slices_run": self.slices_run,
+                "steps_applied": self.steps_applied,
+                "clock": self.clock,
+            }
+        )
         self.env.machine.obs.flight.postmortem(
             PARK_TRIGGER,
             reason,
@@ -281,21 +297,49 @@ class Session:
             doc["metrics"] = registry.to_dict()
         return doc
 
-    def trace(self, cursor: int = 0, limit: int = 256) -> dict[str, Any]:
+    @staticmethod
+    def _event_cycle(event: dict[str, Any]) -> int:
+        """The simulated-time stamp of one flight-recorder event (spans
+        carry start/end, metric deltas and notes carry ``tsc``)."""
+        if "tsc" in event:
+            return int(event["tsc"])
+        return int(event.get("end", event.get("start", 0)))
+
+    def trace(
+        self,
+        cursor: int = 0,
+        limit: int = 256,
+        since_cycle: int | None = None,
+    ) -> dict[str, Any]:
         """Stream flight-recorder events (completed spans and metric
-        deltas) past ``cursor``.  Events that wrapped out of the bounded
-        ring before the client caught up are reported as ``dropped`` —
-        backlog is explicitly bounded, never silently infinite."""
+        deltas) past ``cursor``, at most ``limit`` per call.  Events that
+        wrapped out of the bounded ring before the client caught up are
+        reported as ``dropped`` — backlog is explicitly bounded, never
+        silently infinite.  ``since_cycle`` narrows the window to events
+        stamped at or after that simulated time; events it skips still
+        advance the cursor (they are consumed, not deferred)."""
         flight = self.env.machine.obs.flight
         events = flight.tail()
         first = flight.recorded - len(events)
         cursor = max(0, int(cursor))
         dropped = max(0, first - cursor)
-        offset = max(0, cursor - first)
-        window = events[offset: offset + max(0, int(limit))]
+        limit = max(0, int(limit))
+        window: list[dict[str, Any]] = []
+        next_cursor = max(cursor, first)
+        for index, event in enumerate(events, start=first):
+            if index < cursor:
+                continue
+            if len(window) >= limit:
+                break
+            next_cursor = index + 1
+            if since_cycle is not None and self._event_cycle(event) < since_cycle:
+                continue
+            window.append(event)
+        else:
+            next_cursor = flight.recorded
         return {
             "events": window,
-            "cursor": first + offset + len(window),
+            "cursor": next_cursor,
             "dropped": dropped,
             "recorded": flight.recorded,
         }

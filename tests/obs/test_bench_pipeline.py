@@ -64,7 +64,7 @@ class TestRunner:
     def test_every_scenario_registered(self, runner):
         assert set(runner.SCENARIOS) == {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "recovery",
-            "fuzz", "sweep",
+            "fuzz", "sweep", "telemetry",
         }
 
     def test_fuzz_scenario_rows_cover_both_modes(self, runner):

@@ -212,3 +212,53 @@ class TestWiredScenario:
         assert flight.postmortems
         assert flight.postmortems[-1]["trigger"] == "oracle"
         assert flight.postmortems[-1]["detail"]["oracle"] == "synthetic"
+
+
+class TestIdentityStamping:
+    def test_identity_stamped_into_bundles(self, obs):
+        obs.flight.identity = {
+            "tenant": "t-alice",
+            "session_id": "s-1",
+            "scenario": "baseline",
+            "seed": 0x5EED,
+        }
+        obs.metrics.counter("c").inc()
+        bundle = obs.flight.postmortem("containment", "wild read")
+        assert bundle["identity"]["tenant"] == "t-alice"
+        assert bundle["identity"]["seed"] == 0x5EED
+        assert validate_postmortem(bundle) == []
+
+    def test_unstamped_recorder_omits_nothing_required(self, obs):
+        obs.metrics.counter("c").inc()
+        bundle = obs.flight.postmortem("t")
+        assert bundle["identity"] == {}
+        assert validate_postmortem(bundle) == []
+
+    def test_validator_rejects_non_object_identity(self, obs):
+        obs.metrics.counter("c").inc()
+        bundle = obs.flight.postmortem("t")
+        bundle["identity"] = ["tenant", "t"]
+        assert any("identity" in p for p in validate_postmortem(bundle))
+
+    def test_validator_rejects_nested_identity_values(self, obs):
+        obs.metrics.counter("c").inc()
+        bundle = obs.flight.postmortem("t")
+        bundle["identity"] = {"tenant": {"nested": True}}
+        assert any("identity" in p for p in validate_postmortem(bundle))
+
+    def test_served_session_park_stamps_slice_context(self):
+        from repro.serve.session import Session
+
+        session = Session("s-id", "t-id", "baseline", 0x5EED)
+        session.step(4)
+        session.park("test freeze")
+        (bundle,) = session.env.machine.obs.flight.postmortems
+        identity = bundle["identity"]
+        assert identity["tenant"] == "t-id"
+        assert identity["session_id"] == "s-id"
+        assert identity["scenario"] == "baseline"
+        assert identity["seed"] == 0x5EED
+        assert identity["steps_applied"] == 4
+        assert identity["slices_run"] == session.slices_run
+        assert identity["clock"] == session.clock
+        assert validate_postmortem(bundle) == []

@@ -13,6 +13,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    prom_name,
 )
 
 
@@ -156,3 +157,110 @@ class TestRendering:
 
     def test_render_text_empty_registry(self, registry):
         assert "no metrics" in registry.render_text()
+
+
+class TestQuantile:
+    def test_quantile_reads_bucket_upper_bounds(self, registry):
+        h = registry.histogram("h", buckets=(10, 100, 1000))
+        for value in (1, 2, 3, 50, 500, 5000):
+            h.observe(value)
+        assert h.quantile(0.5) == 10      # 3 of 6 land in the first bucket
+        assert h.quantile(0.66) == 100
+        assert h.quantile(0.84) == 1000
+        assert h.quantile(1.0) == 1000    # overflow clamps to the last bound
+
+    def test_quantile_per_label_vs_aggregate(self, registry):
+        h = registry.histogram("h", buckets=(10, 100))
+        h.observe(5, kind="fast")
+        h.observe(50, kind="slow")
+        h.observe(50, kind="slow")
+        assert h.quantile(1.0, kind="fast") == 10
+        assert h.quantile(1.0, kind="slow") == 100
+        assert h.quantile(0.33) == 10  # aggregated across both label sets
+
+    def test_quantile_empty_histogram_is_zero(self, registry):
+        h = registry.histogram("h", buckets=(10,))
+        assert h.quantile(0.99) == 0.0
+
+    def test_quantile_rejects_out_of_range_q(self, registry):
+        h = registry.histogram("h", buckets=(10,))
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestDispatchFastPath:
+    def test_no_hooks_skips_fan_out_but_counts(self, registry):
+        counter = registry.counter("c")
+        counter.inc(kind="x")
+        assert registry.hooks == []
+        assert counter.get(kind="x") == 1
+
+    def test_hooks_see_every_update_kind(self, registry):
+        events = []
+        registry.hooks.append(
+            lambda kind, name, labels, value: events.append(
+                (kind, name, dict(labels), value)
+            )
+        )
+        registry.counter("c").inc(2, kind="x")
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(10,)).observe(3)
+        assert ("counter", "c", {"kind": "x"}, 2) in events
+        assert ("gauge", "g", {}, 7) in events
+        assert ("histogram", "h", {}, 3) in events
+
+    def test_detaching_hooks_restores_the_fast_path(self, registry):
+        events = []
+        hook = lambda *args: events.append(args)  # noqa: E731
+        registry.hooks.append(hook)
+        registry.counter("c").inc()
+        registry.hooks.remove(hook)
+        registry.counter("c").inc()
+        assert len(events) == 1
+
+
+class TestPromExposition:
+    def test_prom_name_mapping(self):
+        assert prom_name("serve.requests") == "serve_requests"
+        assert prom_name("a-b c") == "a_b_c"
+        assert prom_name("0weird") == "_0weird"
+
+    def test_counter_rendered_with_total_suffix(self, registry):
+        registry.counter("serve.requests", "requests").inc(3, method="step")
+        text = registry.render_prom()
+        assert "# TYPE serve_requests_total counter" in text
+        assert 'serve_requests_total{method="step"} 3' in text
+
+    def test_gauge_rendered_plain(self, registry):
+        registry.gauge("covirt.sessions").set(2)
+        assert "# TYPE covirt_sessions gauge" in registry.render_prom()
+        assert "covirt_sessions 2" in registry.render_prom()
+
+    def test_histogram_rendered_cumulative_with_inf(self, registry):
+        h = registry.histogram("lat", buckets=(10, 100))
+        h.observe(5)
+        h.observe(50)
+        h.observe(5000)
+        text = registry.render_prom()
+        assert 'lat_bucket{le="10"} 1' in text
+        assert 'lat_bucket{le="100"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 5055" in text
+        assert "lat_count 3" in text
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("c").inc(tenant='we"ird\\one')
+        text = registry.render_prom()
+        assert 'tenant="we\\"ird\\\\one"' in text
+
+    def test_output_sorted_and_newline_terminated(self, registry):
+        registry.counter("zz").inc()
+        registry.counter("aa").inc()
+        text = registry.render_prom()
+        assert text.index("aa_total") < text.index("zz_total")
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.render_prom() == ""

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.hw.clock import Clock
-from repro.obs.spans import Span, SpanTracer
+from repro.obs.spans import NULL_SPAN, Span, SpanTracer
 
 
 @pytest.fixture
@@ -151,3 +151,66 @@ class TestSpanDataclass:
         span = Span(0, None, 0, "s", "", "main", start=5)
         assert span.duration == 0
         assert not span.closed
+
+
+class TestFastPathGate:
+    """The zero-overhead contract: while ``enabled`` is False every
+    recording call returns the shared NULL_SPAN and touches nothing —
+    no clock read, no span list growth, no observer call."""
+
+    def test_disabled_calls_return_the_shared_sentinel(self, tracer):
+        tracer.enabled = False
+        a = tracer.begin("a")
+        b = tracer.complete("b", 0, 10)
+        c = tracer.instant("c")
+        assert a is NULL_SPAN and b is NULL_SPAN and c is NULL_SPAN
+        assert len(tracer) == 0 and tracer.open_depth == 0
+
+    def test_disabled_end_is_a_no_op(self, tracer):
+        tracer.enabled = False
+        span = tracer.begin("never")
+        tracer.end(span)  # must not raise, must not record
+        assert len(tracer) == 0
+        assert NULL_SPAN.end == 0, "the sentinel is never mutated"
+
+    def test_disabled_tracer_never_reads_the_clock(self):
+        class ExplodingClock:
+            @property
+            def now(self):  # pragma: no cover - the assertion *is* the test
+                raise AssertionError("fast path read the clock")
+
+        quiet = SpanTracer(ExplodingClock())
+        quiet.enabled = False
+        quiet.begin("a")
+        quiet.instant("b")
+        with quiet.span("c"):
+            pass
+
+    def test_disabled_calls_skip_observers(self, tracer):
+        closed = []
+        tracer.on_close.append(closed.append)
+        tracer.enabled = False
+        tracer.complete("quiet", 0, 5)
+        assert closed == []
+        tracer.enabled = True
+        tracer.complete("loud", 0, 5)
+        assert [span.name for span in closed] == ["loud"]
+
+    def test_open_spans_close_across_a_disable_window(self, tracer, clock):
+        """Spans opened while enabled keep closing normally even if the
+        gate drops mid-flight — the stack can never wedge."""
+        outer = tracer.begin("outer")
+        tracer.enabled = False
+        assert tracer.begin("ignored") is NULL_SPAN
+        tracer.enabled = True
+        clock.advance(7)
+        tracer.end(outer)
+        assert tracer.open_depth == 0
+        assert outer.closed and outer.duration == 7
+
+    def test_reenabling_resumes_recording(self, tracer):
+        tracer.enabled = False
+        tracer.complete("dark", 0, 1)
+        tracer.enabled = True
+        tracer.complete("light", 0, 1)
+        assert tracer.names() == ["light"]

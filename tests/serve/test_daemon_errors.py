@@ -122,11 +122,11 @@ class TestQuotas:
         # admitted runs only answer when their whole budget completes.
         import json
 
-        first = json.loads(client._reader.readline())
+        first = json.loads(client._recv_line())
         assert first["id"] == 103
         assert first["error"]["code"] == E_BUSY
         remaining = sorted(
-            (json.loads(client._reader.readline()) for _ in range(2)),
+            (json.loads(client._recv_line()) for _ in range(2)),
             key=lambda r: r["id"],
         )
         assert [r["id"] for r in remaining] == [101, 102]

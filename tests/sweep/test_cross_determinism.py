@@ -113,3 +113,60 @@ class TestServeVsSweep:
         session.step(STEPS)
         exits = session.inspect()["exits_by_reason"]
         assert exits == cli_record["exits_by_reason"]
+
+
+class TestTelemetryDeterminism:
+    """Subscribing to the telemetry plane must never perturb a session:
+    the taps are passive observers, so a watched run and an unwatched
+    run of the same (scenario, seed, requests) are byte-identical."""
+
+    def _drive(self, daemon_kwargs, subscribe, derived_seed, max_queue=None):
+        from repro.serve.client import ServeClient
+        from repro.serve.daemon import ServeDaemon
+
+        daemon = ServeDaemon(tcp=("127.0.0.1", 0), **daemon_kwargs)
+        daemon.start()
+        try:
+            watcher = None
+            if subscribe:
+                watcher = ServeClient(daemon.endpoint, tenant="watcher")
+                watcher.subscribe(max_queue=max_queue)
+            with ServeClient(daemon.endpoint, tenant="tenant") as driver:
+                sid = driver.launch(
+                    scenario=SCHEDULE, seed=derived_seed
+                )["session_id"]
+                for chunk in (10, 10, 4):
+                    driver.step(sid, steps=chunk)
+                doc = driver.inspect(sid)
+            stats = None
+            if watcher is not None:
+                frames = watcher.read_frames(
+                    count=1_000_000, max_seconds=2.0
+                )
+                stats = watcher.unsubscribe()
+                stats["received"] = len(frames)
+                watcher.close()
+            return doc, stats
+        finally:
+            daemon.stop()
+
+    def test_subscribed_run_fingerprints_identically(
+        self, cli_record, derived_seed
+    ):
+        unwatched, _ = self._drive({}, False, derived_seed)
+        watched, stats = self._drive({}, True, derived_seed)
+        assert stats["received"] > 1, "the watcher saw live frames"
+        assert watched["fingerprint"] == unwatched["fingerprint"]
+        assert watched["fingerprint"] == cli_record["fingerprint"]
+        assert watched["clock"] == unwatched["clock"]
+        assert watched["exits_by_reason"] == unwatched["exits_by_reason"]
+
+    def test_slow_subscriber_drops_without_perturbing(
+        self, cli_record, derived_seed
+    ):
+        """A size-1 queue drops nearly everything — and the session's
+        transcript still matches the unwatched run exactly."""
+        watched, stats = self._drive({}, True, derived_seed, max_queue=1)
+        assert stats["dropped"] >= 1, "the tiny queue must have dropped"
+        assert watched["fingerprint"] == cli_record["fingerprint"]
+        assert watched["clock"] == cli_record["final_clock"]
